@@ -1,0 +1,82 @@
+"""Ablation: the frequency penalty of supporting adaptivity.
+
+Adaptive structures must replicate the minimal configuration's layout, which
+costs ~5% frequency for the upsized D/L2 pair and up to ~27% for the largest
+I-cache relative to capacity-optimised designs (Figures 2-3).  This benchmark
+measures how much performance an upsized Program-Adaptive machine loses to
+that penalty by re-running it with the optimal (non-resizable) frequencies.
+"""
+
+import dataclasses
+import os
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import default_warmup, make_trace
+from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.core.domains import Domain
+from repro.timing.tables import OPTIMAL_DCACHE_CONFIGS, OPTIMIZED_ICACHE_CONFIGS
+from repro.workloads import get_workload
+
+#: Memory/instruction-bound workloads that use upsized configurations.
+CASES = (
+    ("em3d", AdaptiveConfigIndices(dcache_index=3)),
+    ("gcc", AdaptiveConfigIndices(icache_index=3, dcache_index=2)),
+    ("vortex", AdaptiveConfigIndices(icache_index=3, dcache_index=2)),
+)
+
+
+def measure_frequency_penalty(window):
+    rows = []
+    for name, indices in CASES:
+        profile = get_workload(name)
+        adaptive = adaptive_mcd_spec(indices, use_b_partitions=False)
+        # Hypothetical machine: same capacities, but clocked as if the
+        # structures were capacity-optimised (no adaptivity penalty).
+        optimal_frequencies = dict(adaptive.frequencies_ghz)
+        optimal_frequencies[Domain.LOAD_STORE] = OPTIMAL_DCACHE_CONFIGS[
+            indices.dcache_index
+        ].frequency_ghz
+        optimal_icache = next(
+            config
+            for config in OPTIMIZED_ICACHE_CONFIGS
+            if config.size_kb == adaptive.icache.size_kb and config.ways == 1
+        )
+        optimal_frequencies[Domain.FRONT_END] = optimal_icache.frequency_ghz
+        no_penalty = dataclasses.replace(adaptive, frequencies_ghz=optimal_frequencies)
+
+        results = {}
+        for label, spec in (("adaptive", adaptive), ("no-penalty", no_penalty)):
+            processor = MCDProcessor(spec)
+            results[label] = processor.run(
+                make_trace(profile).instructions(),
+                max_instructions=window,
+                warmup_instructions=default_warmup(profile, window),
+                workload_name=name,
+            )
+        loss = results["adaptive"].execution_time_ps / results["no-penalty"].execution_time_ps - 1
+        rows.append(
+            (
+                name,
+                indices.describe(),
+                f"{results['no-penalty'].execution_time_us:.2f}",
+                f"{results['adaptive'].execution_time_us:.2f}",
+                f"{loss * 100:+.2f}%",
+            )
+        )
+    return rows
+
+
+def test_ablation_adaptive_frequency_penalty(benchmark):
+    window = int(os.environ.get("REPRO_BENCH_WINDOW", "6000"))
+    rows = benchmark.pedantic(
+        lambda: measure_frequency_penalty(window), rounds=1, iterations=1
+    )
+    print("\nAblation: frequency penalty of resizable structures")
+    print(
+        format_table(
+            ("workload", "configuration", "optimal clocks (us)",
+             "adaptive clocks (us)", "slowdown"),
+            rows,
+        )
+    )
+    assert all(float(row[4].rstrip("%")) >= -1.0 for row in rows)

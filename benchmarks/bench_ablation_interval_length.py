@@ -1,0 +1,61 @@
+"""Ablation: sensitivity of the phase-adaptive controllers to the interval.
+
+The paper fixes the adaptation interval at 15 K committed instructions
+("comparable to the PLL lock-down time").  This benchmark sweeps the interval
+on the strongly phased apsi workload to show the tradeoff: very short
+intervals react to noise, very long intervals miss phases.
+"""
+
+import os
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import run_phase_adaptive, run_synchronous
+from repro.core.controllers.params import AdaptiveControlParams
+from repro.workloads import get_workload
+
+INTERVALS = (1_000, 2_000, 4_000, 8_000)
+
+
+def measure_interval_sensitivity(window):
+    profile = get_workload("apsi")
+    baseline = run_synchronous(profile, window=window)
+    rows = []
+    for interval in INTERVALS:
+        control = AdaptiveControlParams(
+            interval_instructions=interval, pll_interval_scaled=True
+        )
+        result = run_phase_adaptive(profile, window=window, control=control)
+        changes = sum(
+            1
+            for first, second in zip(
+                result.configuration_changes, result.configuration_changes[1:]
+            )
+            if first.structure == second.structure
+            and first.configuration != second.configuration
+        )
+        rows.append(
+            (
+                interval,
+                f"{result.execution_time_us:.2f}",
+                f"{result.improvement_over(baseline) * 100:+.1f}%",
+                len(result.configuration_changes),
+                changes,
+            )
+        )
+    return rows
+
+
+def test_ablation_interval_length(benchmark):
+    window = max(int(os.environ.get("REPRO_BENCH_WINDOW", "6000")), 24_000)
+    rows = benchmark.pedantic(
+        lambda: measure_interval_sensitivity(window), rounds=1, iterations=1
+    )
+    print("\nAblation: adaptation-interval sensitivity (apsi)")
+    print(
+        format_table(
+            ("interval (instructions)", "time (us)", "vs synchronous",
+             "decisions", "reconfigurations"),
+            rows,
+        )
+    )
+    assert len(rows) == len(INTERVALS)

@@ -1,0 +1,62 @@
+"""Ablation: cost of the adaptive machine's deeper misprediction penalty.
+
+The adaptive MCD machine is over-pipelined at low frequencies and pays one
+extra front-end cycle and two extra integer cycles per branch misprediction
+(Section 2).  This benchmark quantifies that cost by running the base MCD
+machine with the adaptive penalty (10+9) and with the synchronous penalty
+(9+7).
+"""
+
+import dataclasses
+import os
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import default_warmup, make_trace
+from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.workloads import get_workload
+
+WORKLOADS = ("adpcm_decode", "crafty", "vpr", "g721_encode")
+
+
+def measure_penalty_cost(window):
+    rows = []
+    for name in WORKLOADS:
+        profile = get_workload(name)
+        adaptive_penalty = adaptive_mcd_spec(AdaptiveConfigIndices(), use_b_partitions=False)
+        synchronous_penalty = dataclasses.replace(
+            adaptive_penalty, mispredict_front_end_cycles=9, mispredict_integer_cycles=7
+        )
+        results = {}
+        for label, spec in (("adaptive", adaptive_penalty), ("shallow", synchronous_penalty)):
+            processor = MCDProcessor(spec)
+            results[label] = processor.run(
+                make_trace(profile).instructions(),
+                max_instructions=window,
+                warmup_instructions=default_warmup(profile, window),
+                workload_name=name,
+            )
+        cost = results["adaptive"].execution_time_ps / results["shallow"].execution_time_ps - 1
+        rows.append(
+            (
+                name,
+                f"{results['adaptive'].branch_misprediction_rate:.3f}",
+                f"{results['shallow'].execution_time_us:.2f}",
+                f"{results['adaptive'].execution_time_us:.2f}",
+                f"{cost * 100:+.2f}%",
+            )
+        )
+    return rows
+
+
+def test_ablation_mispredict_penalty(benchmark):
+    window = int(os.environ.get("REPRO_BENCH_WINDOW", "6000"))
+    rows = benchmark.pedantic(lambda: measure_penalty_cost(window), rounds=1, iterations=1)
+    print("\nAblation: over-pipelining penalty (+1 front-end, +2 integer cycles per mispredict)")
+    print(
+        format_table(
+            ("workload", "mispredict rate", "9+7 penalty (us)", "10+9 penalty (us)", "cost"),
+            rows,
+        )
+    )
+    costs = [float(row[4].rstrip("%")) for row in rows]
+    assert all(cost >= -1.0 for cost in costs)

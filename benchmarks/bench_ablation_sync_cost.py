@@ -1,0 +1,61 @@
+"""Ablation: cost of cross-domain synchronisation.
+
+The paper (citing the companion MCD work) states that inter-domain
+synchronisation slows the GALS machine down by less than ~3% on average.
+This benchmark runs the base adaptive MCD machine with and without the
+synchronisation model on a few representative workloads.
+"""
+
+import dataclasses
+import os
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import default_warmup, make_trace
+from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.workloads import get_workload
+
+WORKLOADS = ("g721_encode", "bzip2", "gzip", "power")
+
+
+def measure_sync_cost(window):
+    rows = []
+    for name in WORKLOADS:
+        profile = get_workload(name)
+        spec = adaptive_mcd_spec(AdaptiveConfigIndices(), use_b_partitions=False)
+        nosync_spec = dataclasses.replace(spec, inter_domain_sync=False)
+        results = {}
+        for label, machine_spec in (("sync", spec), ("nosync", nosync_spec)):
+            processor = MCDProcessor(machine_spec)
+            results[label] = processor.run(
+                make_trace(profile).instructions(),
+                max_instructions=window,
+                warmup_instructions=default_warmup(profile, window),
+                workload_name=name,
+            )
+        overhead = (
+            results["sync"].execution_time_ps / results["nosync"].execution_time_ps - 1
+        )
+        rows.append(
+            (
+                name,
+                f"{results['sync'].execution_time_us:.2f}",
+                f"{results['nosync'].execution_time_us:.2f}",
+                f"{overhead * 100:+.2f}%",
+                results["sync"].sync_penalties,
+            )
+        )
+    return rows
+
+
+def test_ablation_synchronisation_cost(benchmark):
+    window = int(os.environ.get("REPRO_BENCH_WINDOW", "6000"))
+    rows = benchmark.pedantic(lambda: measure_sync_cost(window), rounds=1, iterations=1)
+    print("\nAblation: cross-domain synchronisation cost (paper: <3% average)")
+    print(
+        format_table(
+            ("workload", "with sync (us)", "without sync (us)", "overhead", "penalty cycles"),
+            rows,
+        )
+    )
+    overheads = [float(row[3].rstrip("%")) for row in rows]
+    assert sum(overheads) / len(overheads) < 8.0

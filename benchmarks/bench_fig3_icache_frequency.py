@@ -1,0 +1,40 @@
+"""Figure 3: I-cache frequency versus configuration (adaptive vs optimal DM)."""
+
+from repro.analysis.reporting import format_table
+from repro.timing import (
+    ADAPTIVE_ICACHE_CONFIGS,
+    OPTIMIZED_ICACHE_CONFIGS,
+    optimized_icache_config,
+)
+
+
+def build_figure3():
+    optimal_by_size = {}
+    for config in OPTIMIZED_ICACHE_CONFIGS:
+        if config.ways == 1:
+            optimal_by_size[config.size_kb] = config.frequency_ghz
+    series = []
+    for config in ADAPTIVE_ICACHE_CONFIGS:
+        optimal = optimal_by_size.get(config.size_kb)
+        series.append(
+            (
+                f"{config.size_kb} KB",
+                f"{config.ways}-way",
+                round(config.frequency_ghz, 3),
+                round(optimal, 3) if optimal else "-",
+            )
+        )
+    return series
+
+
+def test_figure3_icache_frequency(benchmark):
+    series = benchmark(build_figure3)
+    print("\nFigure 3: I-cache frequency vs size (GHz)")
+    print(format_table(("size", "adaptive organisation", "adaptive", "optimal DM"), series))
+    adaptive = [row[2] for row in series]
+    assert adaptive == sorted(adaptive, reverse=True)
+    # Paper headline relationships.
+    dm_to_2way_drop = 1 - adaptive[1] / adaptive[0]
+    assert 0.25 <= dm_to_2way_drop <= 0.37
+    ratio = optimized_icache_config("64k1W").frequency_ghz / adaptive[-1]
+    assert 1.2 <= ratio <= 1.35

@@ -1,0 +1,43 @@
+"""Figure 4: issue-queue frequency versus queue size."""
+
+from repro.analysis.reporting import format_table
+from repro.timing import (
+    ISSUE_QUEUE_FREQUENCY_CURVE,
+    issue_queue_delay_ns,
+    issue_queue_frequency_ghz,
+    selection_levels,
+)
+
+
+def build_figure4():
+    series = []
+    for entries in range(16, 68, 4):
+        series.append(
+            (
+                entries,
+                round(ISSUE_QUEUE_FREQUENCY_CURVE[entries], 3),
+                round(issue_queue_frequency_ghz(entries), 3),
+                selection_levels(entries),
+                round(issue_queue_delay_ns(entries), 3),
+            )
+        )
+    return series
+
+
+def test_figure4_issue_queue_frequency(benchmark):
+    series = benchmark(build_figure4)
+    print("\nFigure 4: issue queue frequency vs size")
+    print(
+        format_table(
+            ("entries", "table (GHz)", "analytic model (GHz)",
+             "select levels", "model delay (ns)"),
+            series,
+        )
+    )
+    table = [row[1] for row in series]
+    assert table == sorted(table, reverse=True)
+    # The 16 -> 20 entry step (2 -> 3 selection levels) is the big one.
+    first_step = 1 - table[1] / table[0]
+    later_steps = 1 - table[-1] / table[1]
+    assert first_step > 0.15
+    assert first_step > later_steps / 2

@@ -1,0 +1,43 @@
+"""Table 1: L1-D / L2 cache configurations (adaptive and optimal)."""
+
+from repro.analysis.reporting import format_table
+from repro.timing import (
+    ADAPTIVE_DCACHE_CONFIGS,
+    OPTIMAL_DCACHE_CONFIGS,
+    cache_access_time_ns,
+)
+
+
+def build_table1():
+    rows = []
+    for adaptive, optimal in zip(ADAPTIVE_DCACHE_CONFIGS, OPTIMAL_DCACHE_CONFIGS):
+        rows.append(
+            (
+                f"{adaptive.l1.size_kb} KB",
+                adaptive.l1.associativity,
+                adaptive.l1.sub_banks,
+                optimal.l1.sub_banks,
+                f"{adaptive.l2.size_kb} KB",
+                adaptive.l2.associativity,
+                adaptive.l2.sub_banks,
+                optimal.l2.sub_banks,
+                f"{cache_access_time_ns(adaptive.l1):.3f}",
+            )
+        )
+    return rows
+
+
+def test_table1_dcache_configurations(benchmark):
+    rows = benchmark(build_table1)
+    assert len(rows) == 4
+    print("\nTable 1: L1 data / L2 cache configurations")
+    print(
+        format_table(
+            (
+                "L1 size", "assoc", "L1 banks (adapt)", "L1 banks (opt)",
+                "L2 size", "assoc", "L2 banks (adapt)", "L2 banks (opt)",
+                "model access (ns)",
+            ),
+            rows,
+        )
+    )

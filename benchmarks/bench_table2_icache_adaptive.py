@@ -1,0 +1,38 @@
+"""Table 2: adaptive I-cache / branch-predictor configurations."""
+
+from repro.analysis.reporting import format_table
+from repro.timing import ADAPTIVE_ICACHE_CONFIGS
+
+
+def build_table2():
+    rows = []
+    for config in ADAPTIVE_ICACHE_CONFIGS:
+        predictor = config.predictor
+        rows.append(
+            (
+                f"{config.size_kb} KB",
+                config.ways,
+                config.icache.sub_banks,
+                f"{predictor.global_history_bits} bits",
+                predictor.gshare_entries,
+                predictor.meta_entries,
+                f"{predictor.local_history_bits} bits",
+                predictor.local_bht_entries,
+                predictor.local_pht_entries,
+            )
+        )
+    return rows
+
+
+def test_table2_adaptive_icache_configurations(benchmark):
+    rows = benchmark(build_table2)
+    print("\nTable 2: adaptive I-cache / branch predictor configurations")
+    print(
+        format_table(
+            ("size", "assoc", "banks", "hg", "gshare PHT", "meta", "hl",
+             "local BHT", "local PHT"),
+            rows,
+        )
+    )
+    assert [row[1] for row in rows] == [1, 2, 3, 4]
+    assert rows[0][4] == 16384 and rows[-1][4] == 65536

@@ -1,0 +1,27 @@
+"""Table 4: hardware cost of the phase-adaptive cache controller."""
+
+from repro.analysis import (
+    ilp_tracker_storage_bits,
+    phase_adaptive_cache_hardware,
+    total_equivalent_gates,
+)
+from repro.analysis.reporting import format_table
+
+
+def build_table4():
+    components = phase_adaptive_cache_hardware()
+    rows = [
+        (component.count, component.name, component.formula, component.equivalent_gates)
+        for component in components
+    ]
+    return rows, total_equivalent_gates(components)
+
+
+def test_table4_controller_hardware_cost(benchmark):
+    rows, total = benchmark(build_table4)
+    print("\nTable 4: phase-adaptive cache controller hardware estimate")
+    print(format_table(("count", "component", "estimate", "equivalent gates"), rows))
+    print(f"Total: {total} equivalent gates per adaptable cache / cache pair")
+    print(f"ILP tracker storage: ILP16={ilp_tracker_storage_bits(16)} bits, "
+          f"ILP64={ilp_tracker_storage_bits(64)} bits")
+    assert total == 4647

@@ -1,0 +1,44 @@
+"""Table 5: architectural parameters of the simulated processor."""
+
+from repro.analysis.reporting import format_table
+from repro.core import ArchitecturalParameters, base_adaptive_spec, best_overall_synchronous_spec
+
+
+def build_table5():
+    params = ArchitecturalParameters()
+    adaptive = base_adaptive_spec()
+    synchronous = best_overall_synchronous_spec()
+    rows = [
+        ("Fetch queue", f"{params.fetch_queue_entries} entries"),
+        ("Branch mispredict penalty (synchronous)",
+         f"{params.mispredict_front_end_cycles_synchronous} front-end + "
+         f"{params.mispredict_integer_cycles_synchronous} integer cycles"),
+        ("Branch mispredict penalty (adaptive MCD)",
+         f"{params.mispredict_front_end_cycles_adaptive} front-end + "
+         f"{params.mispredict_integer_cycles_adaptive} integer cycles"),
+        ("Decode / issue / retire widths",
+         f"{params.decode_width}, {params.issue_width}, {params.retire_width}"),
+        ("L1 cache latency (A/B)", "2/8, 2/5, 2/2 or 2/- cycles"),
+        ("L2 cache latency (A/B)", "12/43, 12/27, 12/12 or 12/- cycles"),
+        ("Memory latency",
+         f"{params.memory_first_chunk_ns:.0f} ns first chunk, "
+         f"{params.memory_subsequent_chunk_ns:.0f} ns subsequent"),
+        ("Integer ALUs", f"{params.int_alus} + {params.int_complex_units} mult/div"),
+        ("FP ALUs", f"{params.fp_alus} + {params.fp_complex_units} mult/div/sqrt"),
+        ("Load/store queue", f"{params.load_store_queue_entries} entries"),
+        ("Physical register file",
+         f"{params.physical_int_registers} integer, {params.physical_fp_registers} FP"),
+        ("Reorder buffer", f"{params.reorder_buffer_entries} entries"),
+        ("Adaptive MCD base frequencies",
+         ", ".join(f"{d.value}={f:.2f} GHz" for d, f in adaptive.frequencies_ghz.items())),
+        ("Best synchronous global frequency",
+         f"{synchronous.frequency(next(iter(synchronous.frequencies_ghz))):.2f} GHz"),
+    ]
+    return rows
+
+
+def test_table5_architectural_parameters(benchmark):
+    rows = benchmark(build_table5)
+    print("\nTable 5: architectural parameters")
+    print(format_table(("parameter", "value"), rows))
+    assert len(rows) >= 12

@@ -1,0 +1,59 @@
+"""Table 9: distribution of best Program-Adaptive configuration choices.
+
+Paper reference: the smallest integer queue (16 entries) is chosen for ~85%
+of applications, the smallest FP queue for ~73%, the smallest D/L2 pair for
+~50% and the smallest I-cache for ~55%, with the remainder spread over the
+larger configurations.
+"""
+
+from collections import Counter
+
+from repro.analysis.reporting import format_table
+from repro.timing.tables import ADAPTIVE_DCACHE_CONFIGS, ADAPTIVE_ICACHE_CONFIGS
+
+
+def distribution(comparisons):
+    int_queue = Counter(c.program_best_indices.int_queue_size for c in comparisons)
+    fp_queue = Counter(c.program_best_indices.fp_queue_size for c in comparisons)
+    dcache = Counter(c.program_best_indices.dcache_index for c in comparisons)
+    icache = Counter(c.program_best_indices.icache_index for c in comparisons)
+    return int_queue, fp_queue, dcache, icache
+
+
+def test_table9_program_adaptive_configuration_distribution(benchmark, figure6_comparisons):
+    int_queue, fp_queue, dcache, icache = benchmark.pedantic(
+        lambda: distribution(figure6_comparisons), rounds=1, iterations=1
+    )
+    total = len(figure6_comparisons)
+
+    def percent(counter, key):
+        return f"{100 * counter.get(key, 0) / total:.0f}%"
+
+    rows = []
+    for position, (size, dc_index, ic_index) in enumerate(
+        zip((16, 32, 48, 64), range(4), range(4))
+    ):
+        rows.append(
+            (
+                f"{size}",
+                percent(int_queue, size),
+                percent(fp_queue, size),
+                ADAPTIVE_DCACHE_CONFIGS[dc_index].name,
+                percent(dcache, dc_index),
+                ADAPTIVE_ICACHE_CONFIGS[ic_index].name,
+                percent(icache, ic_index),
+            )
+        )
+    print("\nTable 9: distribution of Program-Adaptive configuration choices")
+    print(
+        format_table(
+            ("IQ size", "integer IQ", "FP IQ", "D-cache config", "D-cache",
+             "I-cache config", "I-cache"),
+            rows,
+        )
+    )
+    # Shape: the smallest configuration is the most common choice for every
+    # structure (paper Table 9).
+    assert int_queue.most_common(1)[0][0] == 16
+    assert fp_queue.most_common(1)[0][0] == 16
+    assert dcache.most_common(1)[0][0] == 0

@@ -1,0 +1,36 @@
+"""Tables 6-8: the benchmark applications and their simulation windows."""
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import default_warmup
+from repro.workloads import BENCHMARK_SUITES
+
+
+def build_tables_6_to_8():
+    tables = {}
+    for suite, profiles in BENCHMARK_SUITES.items():
+        rows = []
+        for profile in profiles:
+            rows.append(
+                (
+                    profile.name,
+                    profile.paper_dataset,
+                    profile.paper_window,
+                    profile.simulation_window,
+                    default_warmup(profile),
+                )
+            )
+        tables[suite] = rows
+    return tables
+
+
+def test_tables_6_to_8_workloads(benchmark):
+    tables = benchmark(build_tables_6_to_8)
+    for suite, rows in tables.items():
+        print(f"\nTable (suite {suite}): applications")
+        print(
+            format_table(
+                ("benchmark", "dataset", "paper window", "scaled window", "warm-up"),
+                rows,
+            )
+        )
+    assert sum(len(rows) for rows in tables.values()) == 40

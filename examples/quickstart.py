@@ -1,0 +1,70 @@
+"""Quickstart: compare the three machines of the paper on one benchmark.
+
+Runs the ``gcc`` workload model on
+
+* the best-overall fully synchronous processor,
+* the adaptive MCD machine fixed at its base configuration, and
+* the phase-adaptive MCD machine (hardware controllers active),
+
+then prints run time, IPC and the relative improvements (one row of the
+paper's Figure 6).
+
+Usage::
+
+    python examples/quickstart.py [workload-name] [window]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import run_phase_adaptive, run_program_adaptive, run_synchronous
+from repro.analysis.reporting import format_table
+from repro.core import AdaptiveConfigIndices
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    window = int(sys.argv[2]) if len(sys.argv) > 2 else 12_000
+    if name not in workload_names():
+        raise SystemExit(f"unknown workload {name!r}; try one of {workload_names()[:8]} ...")
+    profile = get_workload(name)
+
+    print(f"workload: {profile.name} ({profile.suite}) — {profile.description}")
+    print(f"simulating {window} instructions per machine...\n")
+
+    synchronous = run_synchronous(profile, window=window)
+    base_mcd = run_program_adaptive(profile, AdaptiveConfigIndices(), window=window)
+    phase = run_phase_adaptive(profile, window=window)
+
+    rows = []
+    for label, result in (
+        ("fully synchronous (baseline)", synchronous),
+        ("adaptive MCD, base config", base_mcd),
+        ("adaptive MCD, phase-adaptive", phase),
+    ):
+        rows.append(
+            (
+                label,
+                f"{result.execution_time_us:.2f}",
+                f"{result.front_end_ipc:.2f}",
+                f"{result.improvement_over(synchronous) * 100:+.1f}%",
+            )
+        )
+    print(format_table(("machine", "time (us)", "IPC", "vs baseline"), rows))
+
+    print("\nphase-adaptive reconfigurations:")
+    last = {}
+    for change in phase.configuration_changes:
+        if last.get(change.structure) == change.configuration:
+            continue
+        last[change.structure] = change.configuration
+        print(
+            f"  @{change.committed_instructions:>7} instructions: "
+            f"{change.structure} -> {change.configuration}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Analysis layer: run records, design-space sweeps, report tables and the
+hardware-cost model for the controller circuitry."""
+
+from repro.analysis.metrics import (
+    ConfigurationChange,
+    RunResult,
+    relative_improvement,
+    geometric_mean,
+)
+from repro.analysis.hardware_cost import (
+    HardwareComponent,
+    phase_adaptive_cache_hardware,
+    total_equivalent_gates,
+    ilp_tracker_storage_bits,
+)
+from repro.analysis.reporting import format_table, improvement_table
+
+# The sweep module depends on repro.core (which itself uses
+# repro.analysis.metrics), so it is imported lazily to keep the package
+# import-order independent.
+_SWEEP_EXPORTS = {
+    "SweepResult",
+    "WorkloadComparison",
+    "average_improvements",
+    "best_synchronous_configuration",
+    "evaluate_configuration",
+    "program_adaptive_search",
+    "run_phase_adaptive",
+    "run_program_adaptive",
+    "run_synchronous",
+    "compare_workload",
+    "default_control_params",
+    "default_warmup",
+    "make_trace",
+}
+
+
+def __getattr__(name):
+    if name in _SWEEP_EXPORTS:
+        from repro.analysis import sweep
+
+        return getattr(sweep, name)
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
+
+__all__ = [
+    "ConfigurationChange",
+    "RunResult",
+    "relative_improvement",
+    "geometric_mean",
+    "HardwareComponent",
+    "phase_adaptive_cache_hardware",
+    "total_equivalent_gates",
+    "ilp_tracker_storage_bits",
+    "SweepResult",
+    "WorkloadComparison",
+    "best_synchronous_configuration",
+    "evaluate_configuration",
+    "program_adaptive_search",
+    "run_phase_adaptive",
+    "run_program_adaptive",
+    "run_synchronous",
+    "compare_workload",
+    "format_table",
+    "improvement_table",
+]

@@ -1,0 +1,505 @@
+"""Design-space exploration and the Figure 6 experiment drivers.
+
+The paper evaluates three machines per application:
+
+* the best-overall **fully synchronous** processor, found by sweeping 1 024
+  configurations across the whole suite;
+* the **Program-Adaptive** MCD machine, where the best of the 256 adaptive
+  configurations is chosen per application by exhaustive offline search; and
+* the **Phase-Adaptive** MCD machine, which starts from the base (smallest /
+  fastest) configuration and lets the hardware controllers adapt at run time.
+
+This module provides runners for each, plus both *exhaustive* and *factored*
+search modes.  The factored mode sweeps one structure at a time around the
+base configuration and then combines the per-structure winners; in this
+model the structures live in different clock domains and interact only
+weakly, so the factored search finds the same winner at a small fraction of
+the cost.  The exhaustive mode is retained for fidelity and for the
+benchmark harness's slow path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.metrics import RunResult, geometric_mean, relative_improvement
+from repro.core.configuration import (
+    AdaptiveConfigIndices,
+    MachineSpec,
+    adaptive_configuration_space,
+    adaptive_mcd_spec,
+    best_overall_synchronous_spec,
+    synchronous_configuration_space,
+    synchronous_spec,
+)
+from repro.core.controllers.params import AdaptiveControlParams
+from repro.core.processor import MCDProcessor
+from repro.timing.tables import (
+    ADAPTIVE_DCACHE_CONFIGS,
+    ADAPTIVE_ICACHE_CONFIGS,
+    ISSUE_QUEUE_SIZES,
+    OPTIMAL_DCACHE_CONFIGS,
+    OPTIMIZED_ICACHE_CONFIGS,
+)
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.generator import SyntheticTraceGenerator
+
+#: Default trace seed so every machine sees the identical dynamic instruction
+#: stream for a given workload.
+DEFAULT_TRACE_SEED = 1234
+
+
+@dataclass(slots=True)
+class SweepResult:
+    """Outcome of a per-workload configuration search."""
+
+    workload: str
+    best_indices: AdaptiveConfigIndices
+    best_result: RunResult
+    evaluated: dict[str, RunResult] = field(default_factory=dict)
+
+    @property
+    def configurations_evaluated(self) -> int:
+        """Number of simulated configurations."""
+        return len(self.evaluated)
+
+
+@dataclass(slots=True)
+class WorkloadComparison:
+    """One row of the Figure 6 experiment."""
+
+    workload: str
+    synchronous: RunResult
+    program_adaptive: RunResult
+    phase_adaptive: RunResult
+    program_best_indices: AdaptiveConfigIndices
+
+    @property
+    def program_improvement(self) -> float:
+        """Program-Adaptive improvement over the synchronous baseline."""
+        return relative_improvement(self.synchronous, self.program_adaptive)
+
+    @property
+    def phase_improvement(self) -> float:
+        """Phase-Adaptive improvement over the synchronous baseline."""
+        return relative_improvement(self.synchronous, self.phase_adaptive)
+
+
+# ---------------------------------------------------------------------------
+# Run helpers
+# ---------------------------------------------------------------------------
+
+
+def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
+    """A warm-up length long enough to populate the caches for *profile*.
+
+    Scales with the hot data footprint (so the measured window starts from a
+    warm hierarchy, standing in for the paper's fast-forward windows) and is
+    bounded so sweeps stay tractable.
+    """
+    window = window if window is not None else profile.simulation_window
+    memory_fraction = max(0.05, profile.load_fraction + profile.store_fraction)
+    hot_lines = profile.hot_data_kb * 1024 / 64
+    cold_lines = max(0.0, (profile.data_footprint_kb - profile.hot_data_kb) * 1024 / 64)
+    hot_rate = memory_fraction * max(profile.hot_data_fraction, 0.05)
+    cold_rate = memory_fraction * max(1.0 - profile.hot_data_fraction, 0.02)
+    # Factor ~2 approximates coupon-collector coverage of randomly touched lines.
+    needed = int(hot_lines / hot_rate * 1.3 + cold_lines / cold_rate * 2.0)
+    code_lines = profile.code_footprint_kb * 1024 / 64
+    needed = max(needed, int(code_lines * profile.block_size))
+    return int(min(100_000, max(6_000, needed)))
+
+
+def make_trace(profile: WorkloadProfile, seed: int = DEFAULT_TRACE_SEED):
+    """Build the deterministic trace generator for *profile*."""
+    return SyntheticTraceGenerator(profile, seed=seed)
+
+
+def default_control_params(window: int) -> AdaptiveControlParams:
+    """Control parameters scaled to a simulation window of *window* instructions.
+
+    The adaptation interval is one sixth of the window (minimum 500
+    instructions) so several adaptation decisions occur per run while each
+    interval still sees enough accesses to average out transients, and the
+    PLL lock time tracks the interval duration, preserving the paper's
+    "interval comparable to lock time" relationship under window scaling.
+    """
+    interval = max(500, window // 6)
+    return AdaptiveControlParams(interval_instructions=interval, pll_interval_scaled=True)
+
+
+def _execute(
+    spec: MachineSpec,
+    profile: WorkloadProfile,
+    *,
+    window: int | None,
+    warmup: int | None,
+    trace_seed: int,
+    phase_adaptive: bool = False,
+    control: AdaptiveControlParams | None = None,
+    seed: int = 0,
+) -> RunResult:
+    window = window if window is not None else profile.simulation_window
+    warmup = warmup if warmup is not None else default_warmup(profile, window)
+    if phase_adaptive and control is None:
+        control = default_control_params(window)
+    processor = MCDProcessor(
+        spec, control=control, phase_adaptive=phase_adaptive, seed=seed
+    )
+    trace = make_trace(profile, seed=trace_seed)
+    return processor.run(
+        trace.instructions(),
+        max_instructions=window,
+        warmup_instructions=warmup,
+        workload_name=profile.name,
+    )
+
+
+def run_synchronous(
+    profile: WorkloadProfile,
+    indices: AdaptiveConfigIndices | None = None,
+    *,
+    window: int | None = None,
+    warmup: int | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> RunResult:
+    """Simulate *profile* on a fully synchronous machine.
+
+    Without *indices* the paper's best-overall synchronous configuration is
+    used (64 KB direct-mapped I-cache, 32 KB/256 KB direct-mapped D/L2 and
+    16-entry issue queues).
+    """
+    spec = (
+        best_overall_synchronous_spec()
+        if indices is None
+        else synchronous_spec(indices)
+    )
+    return _execute(
+        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+    )
+
+
+def run_program_adaptive(
+    profile: WorkloadProfile,
+    indices: AdaptiveConfigIndices,
+    *,
+    window: int | None = None,
+    warmup: int | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> RunResult:
+    """Simulate *profile* on the adaptive MCD machine fixed at *indices*.
+
+    As in the paper's whole-program experiments, only the A partitions are
+    used: a miss in A goes straight to the next level of the hierarchy.
+    """
+    spec = adaptive_mcd_spec(indices, use_b_partitions=False)
+    return _execute(
+        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+    )
+
+
+def run_phase_adaptive(
+    profile: WorkloadProfile,
+    *,
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> RunResult:
+    """Simulate *profile* on the phase-adaptive MCD machine.
+
+    The machine starts in the base (smallest / fastest) configuration with B
+    partitions enabled and the hardware controllers active.
+    """
+    from repro.core.configuration import base_adaptive_spec
+
+    spec = base_adaptive_spec(use_b_partitions=True)
+    return _execute(
+        spec,
+        profile,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        phase_adaptive=True,
+        control=control,
+        seed=seed,
+    )
+
+
+def evaluate_configuration(
+    profile: WorkloadProfile,
+    indices: AdaptiveConfigIndices,
+    *,
+    style: str = "adaptive",
+    window: int | None = None,
+    warmup: int | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> RunResult:
+    """Simulate one explicit configuration point (adaptive or synchronous)."""
+    if style == "adaptive":
+        spec = adaptive_mcd_spec(indices, use_b_partitions=False)
+    elif style == "synchronous":
+        spec = synchronous_spec(indices)
+    else:
+        raise ValueError(f"unknown style {style!r}; use 'adaptive' or 'synchronous'")
+    return _execute(
+        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-application Program-Adaptive search
+# ---------------------------------------------------------------------------
+
+
+def _factored_candidates(style: str) -> list[AdaptiveConfigIndices]:
+    """One-structure-at-a-time candidates around the base configuration."""
+    icache_range = range(
+        len(OPTIMIZED_ICACHE_CONFIGS if style == "synchronous" else ADAPTIVE_ICACHE_CONFIGS)
+    )
+    dcache_range = range(
+        len(OPTIMAL_DCACHE_CONFIGS if style == "synchronous" else ADAPTIVE_DCACHE_CONFIGS)
+    )
+    candidates: list[AdaptiveConfigIndices] = [AdaptiveConfigIndices()]
+    candidates.extend(AdaptiveConfigIndices(icache_index=i) for i in icache_range if i)
+    candidates.extend(AdaptiveConfigIndices(dcache_index=i) for i in dcache_range if i)
+    candidates.extend(
+        AdaptiveConfigIndices(int_queue_size=size) for size in ISSUE_QUEUE_SIZES if size != 16
+    )
+    candidates.extend(
+        AdaptiveConfigIndices(fp_queue_size=size) for size in ISSUE_QUEUE_SIZES if size != 16
+    )
+    return candidates
+
+
+def program_adaptive_search(
+    profile: WorkloadProfile,
+    *,
+    mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> SweepResult:
+    """Find the best whole-program adaptive MCD configuration for *profile*.
+
+    ``mode="exhaustive"`` evaluates all 256 configurations, as the paper did;
+    ``mode="factored"`` (default) sweeps each structure independently around
+    the base configuration, combines the per-structure winners, and verifies
+    the combination — 14-17 simulations instead of 256.
+    """
+    evaluated: dict[str, RunResult] = {}
+
+    def run(indices: AdaptiveConfigIndices) -> RunResult:
+        key = indices.describe()
+        if key not in evaluated:
+            evaluated[key] = run_program_adaptive(
+                profile,
+                indices,
+                window=window,
+                warmup=warmup,
+                trace_seed=trace_seed,
+                seed=seed,
+            )
+        return evaluated[key]
+
+    if mode == "exhaustive":
+        candidates = list(adaptive_configuration_space())
+    elif mode == "factored":
+        candidates = _factored_candidates("adaptive")
+    else:
+        raise ValueError(f"unknown search mode {mode!r}")
+
+    for indices in candidates:
+        run(indices)
+
+    best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
+    best_indices = _indices_from_key(best_key)
+
+    if mode == "factored":
+        combined = _combine_factored_winners(evaluated)
+        if combined.describe() not in evaluated:
+            run(combined)
+        best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
+        best_indices = _indices_from_key(best_key)
+
+    return SweepResult(
+        workload=profile.name,
+        best_indices=best_indices,
+        best_result=evaluated[best_key],
+        evaluated=evaluated,
+    )
+
+
+def _indices_from_key(key: str) -> AdaptiveConfigIndices:
+    # Keys look like "ic1/dc2/iq16/fq32".
+    pieces = key.split("/")
+    icache = int(pieces[0][2:])
+    dcache = int(pieces[1][2:])
+    int_queue = int(pieces[2][2:])
+    fp_queue = int(pieces[3][2:])
+    return AdaptiveConfigIndices(icache, dcache, int_queue, fp_queue)
+
+
+def _combine_factored_winners(evaluated: Mapping[str, RunResult]) -> AdaptiveConfigIndices:
+    """Combine the best value of each structure found by the factored sweep."""
+    base = AdaptiveConfigIndices()
+
+    def best_for(extract, default):
+        best_value, best_time = default, None
+        for key, result in evaluated.items():
+            indices = _indices_from_key(key)
+            others_default = (
+                (indices.icache_index == base.icache_index or extract is _get_ic),
+                (indices.dcache_index == base.dcache_index or extract is _get_dc),
+                (indices.int_queue_size == base.int_queue_size or extract is _get_iq),
+                (indices.fp_queue_size == base.fp_queue_size or extract is _get_fq),
+            )
+            if not all(others_default):
+                continue
+            if best_time is None or result.execution_time_ps < best_time:
+                best_time = result.execution_time_ps
+                best_value = extract(indices)
+        return best_value
+
+    return AdaptiveConfigIndices(
+        icache_index=best_for(_get_ic, base.icache_index),
+        dcache_index=best_for(_get_dc, base.dcache_index),
+        int_queue_size=best_for(_get_iq, base.int_queue_size),
+        fp_queue_size=best_for(_get_fq, base.fp_queue_size),
+    )
+
+
+def _get_ic(indices: AdaptiveConfigIndices) -> int:
+    return indices.icache_index
+
+
+def _get_dc(indices: AdaptiveConfigIndices) -> int:
+    return indices.dcache_index
+
+
+def _get_iq(indices: AdaptiveConfigIndices) -> int:
+    return indices.int_queue_size
+
+
+def _get_fq(indices: AdaptiveConfigIndices) -> int:
+    return indices.fp_queue_size
+
+
+# ---------------------------------------------------------------------------
+# Best-overall synchronous search
+# ---------------------------------------------------------------------------
+
+
+def best_synchronous_configuration(
+    profiles: Sequence[WorkloadProfile],
+    *,
+    mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> tuple[AdaptiveConfigIndices, dict[str, float]]:
+    """Find the fully synchronous configuration with the best overall performance.
+
+    Returns the winning configuration and a mapping from configuration key to
+    its average normalised run time across *profiles* (lower is better).  The
+    exhaustive mode walks all 1 024 synchronous configurations; the factored
+    mode sweeps one structure at a time (28 configurations).
+    """
+    if mode == "exhaustive":
+        candidates = list(synchronous_configuration_space())
+    elif mode == "factored":
+        candidates = _factored_candidates("synchronous")
+    else:
+        raise ValueError(f"unknown search mode {mode!r}")
+
+    per_config_times: dict[str, list[float]] = {c.describe(): [] for c in candidates}
+    for profile in profiles:
+        times: dict[str, float] = {}
+        for indices in candidates:
+            result = run_synchronous(
+                profile,
+                indices,
+                window=window,
+                warmup=warmup,
+                trace_seed=trace_seed,
+                seed=seed,
+            )
+            times[indices.describe()] = result.execution_time_ps / max(
+                1, result.committed_instructions
+            )
+        best_time = min(times.values())
+        for key, value in times.items():
+            per_config_times[key].append(value / best_time)
+
+    averages = {
+        key: sum(values) / len(values) for key, values in per_config_times.items() if values
+    }
+    best_key = min(averages, key=averages.get)
+    return _indices_from_key(best_key), averages
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 driver
+# ---------------------------------------------------------------------------
+
+
+def compare_workload(
+    profile: WorkloadProfile,
+    *,
+    baseline_indices: AdaptiveConfigIndices | None = None,
+    search_mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+) -> WorkloadComparison:
+    """Run the full three-machine comparison for one workload (Figure 6 row)."""
+    synchronous = run_synchronous(
+        profile,
+        baseline_indices,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
+    )
+    search = program_adaptive_search(
+        profile,
+        mode=search_mode,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
+    )
+    phase = run_phase_adaptive(
+        profile,
+        window=window,
+        warmup=warmup,
+        control=control,
+        trace_seed=trace_seed,
+        seed=seed,
+    )
+    return WorkloadComparison(
+        workload=profile.name,
+        synchronous=synchronous,
+        program_adaptive=search.best_result,
+        phase_adaptive=phase,
+        program_best_indices=search.best_indices,
+    )
+
+
+def average_improvements(comparisons: Iterable[WorkloadComparison]) -> tuple[float, float]:
+    """Arithmetic-mean Program- and Phase-Adaptive improvements (Figure 6 bars)."""
+    comparisons = list(comparisons)
+    if not comparisons:
+        return 0.0, 0.0
+    program = sum(c.program_improvement for c in comparisons) / len(comparisons)
+    phase = sum(c.phase_improvement for c in comparisons) / len(comparisons)
+    return program, phase

@@ -1,0 +1,22 @@
+"""Fully synchronous baseline machines.
+
+The fully synchronous processor of the paper shares the entire pipeline model
+with the adaptive MCD machine (see :class:`repro.core.MCDProcessor`); it
+differs only in its specification: one global clock set by the slowest of its
+capacity-optimised structures, no inter-domain synchronisation cost, the
+shallower 9 + 7 cycle misprediction penalty, and no B partitions.  This
+package re-exports the specification constructors and the suite-wide
+best-overall search.
+"""
+
+from repro.baselines.synchronous import (
+    best_overall_synchronous_spec,
+    find_best_overall_configuration,
+    synchronous_spec,
+)
+
+__all__ = [
+    "best_overall_synchronous_spec",
+    "find_best_overall_configuration",
+    "synchronous_spec",
+]

@@ -1,0 +1,47 @@
+"""Two-bit saturating counters used by every predictor component."""
+
+from __future__ import annotations
+
+
+class SaturatingCounter:
+    """An n-bit saturating counter predicting taken when in the upper half.
+
+    Parameters
+    ----------
+    bits:
+        Counter width in bits (the paper's tables use two-bit counters).
+    initial:
+        Initial counter value; defaults to weakly not-taken.
+    """
+
+    __slots__ = ("_value", "_max")
+
+    def __init__(self, bits: int = 2, initial: int | None = None) -> None:
+        if bits < 1:
+            raise ValueError("counter needs at least one bit")
+        self._max = (1 << bits) - 1
+        midpoint = (self._max + 1) // 2
+        self._value = midpoint - 1 if initial is None else initial
+        if not 0 <= self._value <= self._max:
+            raise ValueError(f"initial value {initial} out of range")
+
+    @property
+    def value(self) -> int:
+        """Current counter value."""
+        return self._value
+
+    @property
+    def prediction(self) -> bool:
+        """True (taken) when the counter is in its upper half."""
+        return self._value > self._max // 2
+
+    def update(self, taken: bool) -> None:
+        """Train the counter toward the actual outcome."""
+        if taken:
+            if self._value < self._max:
+                self._value += 1
+        elif self._value > 0:
+            self._value -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SaturatingCounter(value={self._value}, max={self._max})"

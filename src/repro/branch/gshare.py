@@ -1,0 +1,63 @@
+"""gshare global-history predictor component."""
+
+from __future__ import annotations
+
+
+class GShatePredictorError(ValueError):
+    """Raised when a gshare predictor is configured with an invalid size."""
+
+
+class GsharePredictor:
+    """Global-history predictor: XOR of PC and global history indexes a BHT.
+
+    Parameters
+    ----------
+    history_bits:
+        Number of global-history bits (``hg`` in Table 2/3 of the paper).
+    table_entries:
+        Number of two-bit counters in the branch history table.  Must be a
+        power of two and at least ``2**history_bits`` entries are typical.
+    """
+
+    def __init__(self, history_bits: int, table_entries: int) -> None:
+        if table_entries <= 0 or table_entries & (table_entries - 1):
+            raise GShatePredictorError(
+                f"gshare table size must be a power of two, got {table_entries}"
+            )
+        if history_bits < 1:
+            raise GShatePredictorError("history_bits must be >= 1")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._index_mask = table_entries - 1
+        self._history = 0
+        # Two-bit counters stored as plain ints (0..3) for speed.
+        self._table = [1] * table_entries
+
+    @property
+    def history(self) -> int:
+        """Current global-history register value."""
+        return self._history
+
+    @property
+    def table_entries(self) -> int:
+        """Number of counters in the table."""
+        return len(self._table)
+
+    def index(self, pc: int) -> int:
+        """Table index for *pc* under the current history."""
+        return ((pc >> 2) ^ self._history) & self._index_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc*."""
+        return self._table[self.index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the indexed counter and shift the global history."""
+        index = self.index(pc)
+        counter = self._table[index]
+        if taken:
+            if counter < 3:
+                self._table[index] = counter + 1
+        elif counter > 0:
+            self._table[index] = counter - 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask

@@ -1,0 +1,108 @@
+"""Hybrid (gshare + local + metapredictor) branch predictor."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.gshare import GsharePredictor
+from repro.branch.local import LocalHistoryPredictor
+from repro.timing.tables import BranchPredictorGeometry
+
+
+@dataclass(slots=True)
+class PredictorStats:
+    """Aggregate prediction counters."""
+
+    predictions: int = 0
+    mispredictions: int = 0
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of correct predictions (1.0 when nothing was predicted)."""
+        if not self.predictions:
+            return 1.0
+        return 1.0 - self.mispredictions / self.predictions
+
+
+class HybridPredictor:
+    """McFarling-style combining predictor.
+
+    A metapredictor table of two-bit counters (indexed like the gshare
+    component) selects, per branch, whether the gshare or the local component
+    supplies the prediction.  Both components are always trained; the
+    metapredictor is trained toward whichever component was correct when they
+    disagree.
+    """
+
+    def __init__(self, geometry: BranchPredictorGeometry) -> None:
+        self.geometry = geometry
+        self._gshare = GsharePredictor(
+            geometry.global_history_bits, geometry.gshare_entries
+        )
+        self._local = LocalHistoryPredictor(
+            geometry.local_history_bits,
+            geometry.local_bht_entries,
+            geometry.local_pht_entries,
+        )
+        if geometry.meta_entries <= 0 or geometry.meta_entries & (
+            geometry.meta_entries - 1
+        ):
+            raise ValueError("meta_entries must be a power of two")
+        # Meta counter >= 2 selects the gshare component.
+        self._meta = [2] * geometry.meta_entries
+        self._meta_mask = geometry.meta_entries - 1
+        self.stats = PredictorStats()
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def gshare(self) -> GsharePredictor:
+        """The global-history component."""
+        return self._gshare
+
+    @property
+    def local(self) -> LocalHistoryPredictor:
+        """The local-history component."""
+        return self._local
+
+    def _meta_index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._gshare.history) & self._meta_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc* (no state change)."""
+        if self._meta[self._meta_index(pc)] >= 2:
+            return self._gshare.predict(pc)
+        return self._local.predict(pc)
+
+    def predict_and_update(self, pc: int, taken: bool) -> bool:
+        """Predict *pc*, then train every component with the real outcome.
+
+        Returns True when the prediction was correct.
+        """
+        meta_index = self._meta_index(pc)
+        gshare_prediction = self._gshare.predict(pc)
+        local_prediction = self._local.predict(pc)
+        use_gshare = self._meta[meta_index] >= 2
+        prediction = gshare_prediction if use_gshare else local_prediction
+
+        # Train the metapredictor only when the components disagree.
+        if gshare_prediction != local_prediction:
+            counter = self._meta[meta_index]
+            if gshare_prediction == taken and counter < 3:
+                self._meta[meta_index] = counter + 1
+            elif local_prediction == taken and counter > 0:
+                self._meta[meta_index] = counter - 1
+
+        self._local.update(pc, taken)
+        self._gshare.update(pc, taken)  # also shifts the global history
+
+        correct = prediction == taken
+        self.stats.predictions += 1
+        if not correct:
+            self.stats.mispredictions += 1
+        return correct
+
+
+def build_predictor(geometry: BranchPredictorGeometry) -> HybridPredictor:
+    """Construct the hybrid predictor for one front-end configuration."""
+    return HybridPredictor(geometry)

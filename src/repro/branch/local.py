@@ -1,0 +1,66 @@
+"""Local-history predictor component (per-branch pattern histories)."""
+
+from __future__ import annotations
+
+
+class LocalHistoryPredictor:
+    """Two-level local predictor.
+
+    A pattern history table (PHT), indexed by branch PC, holds an
+    ``history_bits``-wide local history per branch; the history indexes a
+    local branch history table (BHT) of two-bit counters.
+
+    Parameters
+    ----------
+    history_bits:
+        Width of each local history (``hl`` in Tables 2-3).
+    bht_entries:
+        Number of two-bit counters in the local BHT (``2**history_bits`` in
+        the paper's configurations).
+    pht_entries:
+        Number of per-branch history entries.
+    """
+
+    def __init__(self, history_bits: int, bht_entries: int, pht_entries: int) -> None:
+        for name, value in (("bht_entries", bht_entries), ("pht_entries", pht_entries)):
+            if value <= 0 or value & (value - 1):
+                raise ValueError(f"{name} must be a power of two, got {value}")
+        if history_bits < 1:
+            raise ValueError("history_bits must be >= 1")
+        self._history_bits = history_bits
+        self._history_mask = (1 << history_bits) - 1
+        self._pht = [0] * pht_entries
+        self._pht_mask = pht_entries - 1
+        self._bht = [1] * bht_entries
+        self._bht_mask = bht_entries - 1
+
+    @property
+    def pht_entries(self) -> int:
+        """Number of per-branch local-history entries."""
+        return len(self._pht)
+
+    @property
+    def bht_entries(self) -> int:
+        """Number of counters in the local BHT."""
+        return len(self._bht)
+
+    def _pht_index(self, pc: int) -> int:
+        return (pc >> 2) & self._pht_mask
+
+    def predict(self, pc: int) -> bool:
+        """Predict the direction of the branch at *pc*."""
+        history = self._pht[self._pht_index(pc)]
+        return self._bht[history & self._bht_mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the counter selected by the branch's local history."""
+        pht_index = self._pht_index(pc)
+        history = self._pht[pht_index]
+        bht_index = history & self._bht_mask
+        counter = self._bht[bht_index]
+        if taken:
+            if counter < 3:
+                self._bht[bht_index] = counter + 1
+        elif counter > 0:
+            self._bht[bht_index] = counter - 1
+        self._pht[pht_index] = ((history << 1) | int(taken)) & self._history_mask

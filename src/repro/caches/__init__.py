@@ -1,0 +1,20 @@
+"""Cache substrate: MRU-ordered set-associative caches, the Accounting Cache
+of Dropsho et al. (A/B partitions with exact what-if accounting), the main
+memory model, and the load/store-domain cache hierarchy."""
+
+from repro.caches.mru import MRUSet
+from repro.caches.cache import AccessOutcome, SetAssociativeCache
+from repro.caches.accounting import AccountingCache, CacheIntervalStats
+from repro.caches.memory import MainMemory
+from repro.caches.hierarchy import CacheHierarchy, MemoryAccessResult
+
+__all__ = [
+    "MRUSet",
+    "AccessOutcome",
+    "SetAssociativeCache",
+    "AccountingCache",
+    "CacheIntervalStats",
+    "MainMemory",
+    "CacheHierarchy",
+    "MemoryAccessResult",
+]

@@ -1,0 +1,199 @@
+"""Load/store-domain cache hierarchy: L1-D + unified L2 + main memory.
+
+The L1 data cache and the L2 are resized together (by ways) and always run at
+the same frequency — the load/store domain clock.  Latencies are expressed in
+load/store-domain cycles and depend on the active configuration (Table 5 of
+the paper); the hierarchy converts them to absolute picosecond completion
+times using the period supplied by the caller, so the same object serves both
+the MCD machine (whose period changes over time) and the synchronous
+baseline.
+
+Instruction-cache misses from the front end also probe the unified L2 through
+:meth:`CacheHierarchy.access_l2_for_instruction`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.caches.accounting import AccountingCache
+from repro.caches.cache import AccessOutcome
+from repro.caches.memory import MainMemory
+from repro.clocks.time import Picoseconds
+from repro.timing.tables import ADAPTIVE_DCACHE_CONFIGS, DCacheL2Config
+
+
+@dataclass(slots=True)
+class MemoryAccessResult:
+    """Outcome of one data access to the hierarchy."""
+
+    completion_ps: Picoseconds
+    l1_outcome: AccessOutcome
+    l2_outcome: AccessOutcome | None
+    went_to_memory: bool
+
+    @property
+    def latency_ps(self) -> Picoseconds:
+        """Convenience alias (completion minus request time is tracked by caller)."""
+        return self.completion_ps
+
+
+@dataclass(slots=True)
+class HierarchyStats:
+    """Aggregate counters over a run."""
+
+    loads: int = 0
+    stores: int = 0
+    l1_hits_a: int = 0
+    l1_hits_b: int = 0
+    l1_misses: int = 0
+    l2_hits_a: int = 0
+    l2_hits_b: int = 0
+    l2_misses: int = 0
+    instruction_l2_accesses: int = 0
+
+
+class CacheHierarchy:
+    """The load/store domain's resizable L1-D / L2 pair plus main memory.
+
+    Parameters
+    ----------
+    config:
+        Initial :class:`~repro.timing.tables.DCacheL2Config`.
+    b_enabled:
+        Whether the B partitions are accessible (phase-adaptive MCD mode) or
+        skipped (whole-program and synchronous modes).
+    memory:
+        Main-memory model; a default one is created if not supplied.
+    """
+
+    def __init__(
+        self,
+        config: DCacheL2Config | None = None,
+        *,
+        b_enabled: bool = True,
+        memory: MainMemory | None = None,
+    ) -> None:
+        base = ADAPTIVE_DCACHE_CONFIGS[-1]
+        self.l1d = AccountingCache(base.l1, a_ways=1, b_enabled=b_enabled, name="L1D")
+        self.l2 = AccountingCache(base.l2, a_ways=1, b_enabled=b_enabled, name="L2")
+        self.memory = memory if memory is not None else MainMemory()
+        self.stats = HierarchyStats()
+        self._config = config if config is not None else ADAPTIVE_DCACHE_CONFIGS[0]
+        self._b_enabled = b_enabled
+        self.apply_config(self._config)
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def config(self) -> DCacheL2Config:
+        """Currently applied configuration."""
+        return self._config
+
+    @property
+    def b_enabled(self) -> bool:
+        """True when the B partitions are accessible."""
+        return self._b_enabled
+
+    def apply_config(self, config: DCacheL2Config) -> None:
+        """Repartition the L1-D and L2 according to *config*."""
+        self._config = config
+        self.l1d.set_a_ways(config.ways)
+        self.l2.set_a_ways(config.ways)
+        has_b = self._b_enabled and config.l1_latency[1] is not None
+        self.l1d.set_b_enabled(has_b)
+        has_b_l2 = self._b_enabled and config.l2_latency[1] is not None
+        self.l2.set_b_enabled(has_b_l2)
+
+    def set_b_enabled(self, enabled: bool) -> None:
+        """Globally enable or disable B-partition accesses."""
+        self._b_enabled = enabled
+        self.apply_config(self._config)
+
+    def reset_statistics(self) -> None:
+        """Zero every counter while keeping cache contents (post-warm-up)."""
+        self.stats = HierarchyStats()
+        for cache in (self.l1d, self.l2):
+            cache.reset_interval()
+            cache.stats.accesses = 0
+            cache.stats.hits = 0
+            cache.stats.misses = 0
+            cache.stats.b_hits = 0
+            cache.lifetime_a_hits = 0
+            cache.lifetime_b_hits = 0
+            cache.lifetime_misses = 0
+
+    # -------------------------------------------------------------- accesses
+
+    def access_data(
+        self,
+        address: int,
+        *,
+        is_store: bool,
+        now_ps: Picoseconds,
+        period_ps: Picoseconds,
+    ) -> MemoryAccessResult:
+        """Access the data hierarchy and return when the data is available."""
+        if is_store:
+            self.stats.stores += 1
+        else:
+            self.stats.loads += 1
+
+        l1_a, l1_b = self._config.l1_latency
+        l2_a, l2_b = self._config.l2_latency
+
+        l1_outcome = self.l1d.access(address)
+        completion = now_ps + l1_a * period_ps
+        if l1_outcome is AccessOutcome.HIT_A:
+            self.stats.l1_hits_a += 1
+            return MemoryAccessResult(completion, l1_outcome, None, False)
+        if l1_outcome is AccessOutcome.HIT_B:
+            self.stats.l1_hits_b += 1
+            completion += (l1_b or 0) * period_ps
+            return MemoryAccessResult(completion, l1_outcome, None, False)
+
+        # L1 miss: the full A (+B) probe time was spent before going below.
+        self.stats.l1_misses += 1
+        if self.l1d.b_enabled and l1_b is not None:
+            completion += l1_b * period_ps
+
+        l2_outcome = self.l2.access(address)
+        completion += l2_a * period_ps
+        if l2_outcome is AccessOutcome.HIT_A:
+            self.stats.l2_hits_a += 1
+            return MemoryAccessResult(completion, l1_outcome, l2_outcome, False)
+        if l2_outcome is AccessOutcome.HIT_B:
+            self.stats.l2_hits_b += 1
+            completion += (l2_b or 0) * period_ps
+            return MemoryAccessResult(completion, l1_outcome, l2_outcome, False)
+
+        self.stats.l2_misses += 1
+        if self.l2.b_enabled and l2_b is not None:
+            completion += l2_b * period_ps
+        completion = self.memory.access(
+            address, self.l2.geometry.block_bytes, completion
+        )
+        return MemoryAccessResult(completion, l1_outcome, l2_outcome, True)
+
+    def access_l2_for_instruction(
+        self, address: int, *, now_ps: Picoseconds, period_ps: Picoseconds
+    ) -> Picoseconds:
+        """Service an instruction-cache miss from the unified L2 / memory.
+
+        Returns the absolute time at which the instruction line is available
+        to the front end (before cross-domain synchronisation back).
+        """
+        self.stats.instruction_l2_accesses += 1
+        l2_a, l2_b = self._config.l2_latency
+        outcome = self.l2.access(address)
+        completion = now_ps + l2_a * period_ps
+        if outcome is AccessOutcome.HIT_A:
+            self.stats.l2_hits_a += 1
+            return completion
+        if outcome is AccessOutcome.HIT_B:
+            self.stats.l2_hits_b += 1
+            return completion + (l2_b or 0) * period_ps
+        self.stats.l2_misses += 1
+        if self.l2.b_enabled and l2_b is not None:
+            completion += l2_b * period_ps
+        return self.memory.access(address, self.l2.geometry.block_bytes, completion)

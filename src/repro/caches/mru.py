@@ -1,0 +1,82 @@
+"""A single cache set maintaining full most-recently-used (MRU) ordering.
+
+The Accounting Cache (Section 3.1 of the paper) relies on every set keeping
+its blocks in exact MRU order.  With true-LRU replacement this ordering has
+the *stack property*: an access hits in a cache of ``a`` ways if and only if
+the block's MRU position is smaller than ``a``.  Counting hits per MRU
+position therefore lets the controller reconstruct hits and misses for every
+possible A/B partitioning from a single pass, with no exploration.
+"""
+
+from __future__ import annotations
+
+
+class MRUSet:
+    """One set of an MRU-ordered set-associative cache.
+
+    Parameters
+    ----------
+    ways:
+        Total number of ways (the physical capacity of the set).
+    """
+
+    __slots__ = ("_ways", "_blocks")
+
+    def __init__(self, ways: int) -> None:
+        if ways < 1:
+            raise ValueError("a cache set needs at least one way")
+        self._ways = ways
+        self._blocks: list[int] = []
+
+    @property
+    def ways(self) -> int:
+        """Physical number of ways in the set."""
+        return self._ways
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid blocks currently in the set."""
+        return len(self._blocks)
+
+    def tags_in_mru_order(self) -> tuple[int, ...]:
+        """Return the resident tags from most to least recently used."""
+        return tuple(self._blocks)
+
+    def access(self, tag: int) -> int:
+        """Access *tag*, updating recency, and return its previous MRU position.
+
+        Returns the zero-based MRU position the block occupied before the
+        access, or ``-1`` on a miss.  On a miss the block is installed as MRU
+        and, if the set is full, the LRU block is evicted.
+        """
+        blocks = self._blocks
+        try:
+            position = blocks.index(tag)
+        except ValueError:
+            if len(blocks) >= self._ways:
+                blocks.pop()
+            blocks.insert(0, tag)
+            return -1
+        if position:
+            del blocks[position]
+            blocks.insert(0, tag)
+        return position
+
+    def probe(self, tag: int) -> int:
+        """Return the MRU position of *tag* without updating recency (-1 if absent)."""
+        try:
+            return self._blocks.index(tag)
+        except ValueError:
+            return -1
+
+    def invalidate(self, tag: int) -> bool:
+        """Remove *tag* from the set; return True if it was present."""
+        try:
+            self._blocks.remove(tag)
+        except ValueError:
+            return False
+        return True
+
+    def flush(self) -> None:
+        """Invalidate every block in the set."""
+        self._blocks.clear()

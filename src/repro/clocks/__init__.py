@@ -1,0 +1,34 @@
+"""Clocking substrate: picosecond time base and per-domain clocks.
+
+Every clock domain in the adaptive MCD processor owns a
+:class:`~repro.clocks.clock.DomainClock`.  Clocks tick on integer picosecond
+edges, may carry deterministic jitter, and support frequency changes at
+arbitrary points in time (the PLL model in :mod:`repro.core.pll` drives
+these).
+"""
+
+from repro.clocks.time import (
+    PS_PER_NS,
+    PS_PER_US,
+    PS_PER_S,
+    Picoseconds,
+    ghz_to_period_ps,
+    ns_to_ps,
+    period_ps_to_ghz,
+    ps_to_ns,
+    us_to_ps,
+)
+from repro.clocks.clock import DomainClock
+
+__all__ = [
+    "DomainClock",
+    "Picoseconds",
+    "PS_PER_NS",
+    "PS_PER_US",
+    "PS_PER_S",
+    "ghz_to_period_ps",
+    "period_ps_to_ghz",
+    "ns_to_ps",
+    "ps_to_ns",
+    "us_to_ps",
+]

@@ -1,0 +1,120 @@
+"""Per-domain clock with optional jitter and run-time frequency changes."""
+
+from __future__ import annotations
+
+import random
+
+from repro.clocks.time import Picoseconds, ghz_to_period_ps, period_ps_to_ghz
+
+
+class DomainClock:
+    """An independently clocked domain's clock.
+
+    The clock produces a monotonically increasing sequence of edges.  Edges
+    are generated lazily: the simulator asks for :attr:`next_edge` and then
+    calls :meth:`advance` once it has performed the work of that cycle.
+
+    The frequency may be changed at any time with :meth:`set_frequency`; the
+    new period takes effect from the *next* edge onward, which models a PLL
+    that re-locks while the domain continues operating (XScale-style, as
+    assumed in the paper).
+
+    Parameters
+    ----------
+    name:
+        Human-readable domain name (used in logs and statistics).
+    frequency_ghz:
+        Initial frequency.
+    jitter_fraction:
+        Peak-to-peak jitter as a fraction of the period.  Each edge is
+        perturbed by a deterministic pseudo-random offset drawn uniformly in
+        ``[-jitter/2, +jitter/2]``.  Zero (the default) disables jitter.
+    seed:
+        Seed for the jitter generator, so runs are reproducible.
+    start_time_ps:
+        Time of the first edge.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        frequency_ghz: float,
+        *,
+        jitter_fraction: float = 0.0,
+        seed: int = 0,
+        start_time_ps: Picoseconds = 0,
+    ) -> None:
+        if jitter_fraction < 0 or jitter_fraction >= 0.5:
+            raise ValueError("jitter_fraction must be in [0, 0.5)")
+        self.name = name
+        self._period_ps = ghz_to_period_ps(frequency_ghz)
+        self._jitter_fraction = jitter_fraction
+        self._rng = random.Random(seed ^ hash(name) & 0xFFFFFFFF)
+        self._next_edge: Picoseconds = start_time_ps
+        self._cycle_count = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def frequency_ghz(self) -> float:
+        """Current frequency in GHz."""
+        return period_ps_to_ghz(self._period_ps)
+
+    @property
+    def period_ps(self) -> Picoseconds:
+        """Current clock period in picoseconds."""
+        return self._period_ps
+
+    @property
+    def next_edge(self) -> Picoseconds:
+        """Time of the next clock edge (the edge that has not yet ticked)."""
+        return self._next_edge
+
+    @property
+    def cycle_count(self) -> int:
+        """Number of edges that have been consumed via :meth:`advance`."""
+        return self._cycle_count
+
+    def set_frequency(self, frequency_ghz: float) -> None:
+        """Change the clock frequency, effective from the next edge onward."""
+        self._period_ps = ghz_to_period_ps(frequency_ghz)
+
+    def set_period_ps(self, period_ps: Picoseconds) -> None:
+        """Change the clock period directly, effective from the next edge."""
+        if period_ps <= 0:
+            raise ValueError("period must be positive")
+        self._period_ps = period_ps
+
+    def advance(self) -> Picoseconds:
+        """Consume the current edge and return the time of the following one."""
+        self._cycle_count += 1
+        step = self._period_ps
+        if self._jitter_fraction:
+            half = self._jitter_fraction / 2.0
+            offset = self._rng.uniform(-half, half)
+            step = max(1, int(round(self._period_ps * (1.0 + offset))))
+        self._next_edge += step
+        return self._next_edge
+
+    def edge_at_or_after(self, time_ps: Picoseconds) -> Picoseconds:
+        """Return the first edge at or after *time_ps* without advancing.
+
+        The calculation assumes the current period holds from the next edge
+        forward, which is exactly the information available to hardware in
+        the consuming domain.
+        """
+        if time_ps <= self._next_edge:
+            return self._next_edge
+        delta = time_ps - self._next_edge
+        cycles = -(-delta // self._period_ps)  # ceiling division
+        return self._next_edge + cycles * self._period_ps
+
+    def cycles_to_ps(self, cycles: int) -> Picoseconds:
+        """Convert a cycle count at the current frequency to picoseconds."""
+        return cycles * self._period_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DomainClock({self.name!r}, {self.frequency_ghz:.3f} GHz, "
+            f"next_edge={self._next_edge} ps)"
+        )

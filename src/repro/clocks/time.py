@@ -1,0 +1,46 @@
+"""Time units.
+
+The whole simulator uses an integer picosecond time base.  Integer arithmetic
+keeps cross-domain event ordering exact and avoids floating-point drift over
+long runs, which matters because the synchronisation model compares clock-edge
+distances against a fraction of the faster clock's period.
+"""
+
+from __future__ import annotations
+
+#: Alias used in signatures for readability; times are plain ints.
+Picoseconds = int
+
+PS_PER_NS = 1_000
+PS_PER_US = 1_000_000
+PS_PER_MS = 1_000_000_000
+PS_PER_S = 1_000_000_000_000
+
+
+def ns_to_ps(nanoseconds: float) -> Picoseconds:
+    """Convert nanoseconds to integer picoseconds (rounded)."""
+    return int(round(nanoseconds * PS_PER_NS))
+
+
+def us_to_ps(microseconds: float) -> Picoseconds:
+    """Convert microseconds to integer picoseconds (rounded)."""
+    return int(round(microseconds * PS_PER_US))
+
+
+def ps_to_ns(picoseconds: Picoseconds) -> float:
+    """Convert picoseconds to nanoseconds."""
+    return picoseconds / PS_PER_NS
+
+
+def ghz_to_period_ps(frequency_ghz: float) -> Picoseconds:
+    """Return the clock period in picoseconds for a frequency in GHz."""
+    if frequency_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_ghz}")
+    return int(round(1000.0 / frequency_ghz))
+
+
+def period_ps_to_ghz(period_ps: Picoseconds) -> float:
+    """Return the frequency in GHz for a clock period in picoseconds."""
+    if period_ps <= 0:
+        raise ValueError(f"period must be positive, got {period_ps}")
+    return 1000.0 / period_ps

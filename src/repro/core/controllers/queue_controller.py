@@ -1,0 +1,210 @@
+"""ILP-tracking issue-queue controller (Section 3.2 of the paper).
+
+The controller measures the *inherent* ILP of the instruction stream,
+independent of the microarchitecture, by tracking dependence heights through
+the rename map: every renamed instruction's destination receives a timestamp
+one larger than the largest timestamp among its sources.  Four trackers run
+simultaneously, one per candidate queue size N in {16, 32, 48, 64}; tracker N
+closes its window once N instructions of the tracked class (integer or
+floating point) have been observed, recording the maximum timestamp M_N seen
+so far.  N/M_N estimates the ILP a window of N instructions exposes; scaling
+each estimate by the frequency that queue size permits and taking the
+maximum gives the queue size that would have yielded the highest effective
+throughput over the recent past.
+
+Timestamps saturate at the width the paper provisions (4 bits for the
+16-entry tracker, 5 for 32, 6 for 48 and 64), and windows for the less
+dominant instruction class terminate early when the dominant class fills the
+machine, exactly as described in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.registers import TOTAL_LOGICAL_REGS
+from repro.timing.tables import ISSUE_QUEUE_FREQUENCY_GHZ, ISSUE_QUEUE_SIZES
+
+#: Timestamp width per tracked queue size (bits), per the paper.
+TIMESTAMP_BITS: dict[int, int] = {16: 4, 32: 5, 48: 6, 64: 6}
+
+
+@dataclass(frozen=True, slots=True)
+class QueueControllerDecision:
+    """Result of one resize evaluation."""
+
+    best_size: int
+    previous_size: int
+    scores: dict[int, float]
+    ilp_estimates: dict[int, float]
+
+    @property
+    def changed(self) -> bool:
+        """True when the controller selected a different queue size."""
+        return self.best_size != self.previous_size
+
+
+class _SizeTracker:
+    """Dependence-height tracker for a single candidate queue size."""
+
+    __slots__ = ("size", "max_timestamp", "count", "tracked_count", "other_count",
+                 "saturation", "timestamps", "complete")
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        self.saturation = (1 << TIMESTAMP_BITS[size]) - 1
+        self.timestamps = [0] * TOTAL_LOGICAL_REGS
+        self.max_timestamp = 0
+        self.tracked_count = 0
+        self.other_count = 0
+        self.complete = False
+
+    def reset(self) -> None:
+        for index in range(TOTAL_LOGICAL_REGS):
+            self.timestamps[index] = 0
+        self.max_timestamp = 0
+        self.tracked_count = 0
+        self.other_count = 0
+        self.complete = False
+
+    def observe(self, dest: int | None, sources: tuple[int, ...], tracked: bool) -> None:
+        if self.complete:
+            return
+        height = 0
+        for source in sources:
+            value = self.timestamps[source]
+            if value > height:
+                height = value
+        height = min(height + 1, self.saturation)
+        if dest is not None:
+            self.timestamps[dest] = height
+        if tracked:
+            self.tracked_count += 1
+            if height > self.max_timestamp:
+                self.max_timestamp = height
+        else:
+            self.other_count += 1
+        # The window ends when either instruction class reaches the queue
+        # size: the less dominant class can never fill a deeper queue.
+        if self.tracked_count >= self.size or self.other_count >= self.size:
+            self.complete = True
+
+    @property
+    def ilp_estimate(self) -> float:
+        """Estimated ILP for this window (tracked instructions / height)."""
+        if self.max_timestamp == 0:
+            return float(self.tracked_count) if self.tracked_count else 1.0
+        return self.tracked_count / self.max_timestamp
+
+
+class ILPTracker:
+    """Simultaneous dependence-height tracking for all four queue sizes."""
+
+    def __init__(self, *, queue_sizes: tuple[int, ...] = ISSUE_QUEUE_SIZES) -> None:
+        self.queue_sizes = queue_sizes
+        self._trackers = [_SizeTracker(size) for size in queue_sizes]
+
+    def observe(
+        self, dest: int | None, sources: tuple[int, ...], *, tracked: bool
+    ) -> None:
+        """Feed one renamed instruction to every active tracker."""
+        for tracker in self._trackers:
+            tracker.observe(dest, sources, tracked)
+
+    @property
+    def all_windows_complete(self) -> bool:
+        """True when every candidate size has a fresh estimate."""
+        return all(tracker.complete for tracker in self._trackers)
+
+    def estimates(self) -> dict[int, float]:
+        """Current ILP estimate per candidate queue size."""
+        return {tracker.size: tracker.ilp_estimate for tracker in self._trackers}
+
+    def reset(self) -> None:
+        """Clear every tracker (hardware counter reset between windows)."""
+        for tracker in self._trackers:
+            tracker.reset()
+
+
+class PhaseAdaptiveQueueController:
+    """Resize decision logic for one issue queue (integer or floating point)."""
+
+    def __init__(
+        self,
+        *,
+        name: str,
+        initial_size: int = 16,
+        queue_sizes: tuple[int, ...] = ISSUE_QUEUE_SIZES,
+        frequencies_ghz: dict[int, float] | None = None,
+        hysteresis: float = 0.0,
+        consecutive_decisions_required: int = 1,
+    ) -> None:
+        if not 0 <= hysteresis < 0.5:
+            raise ValueError("hysteresis must be in [0, 0.5)")
+        if consecutive_decisions_required < 1:
+            raise ValueError("consecutive_decisions_required must be >= 1")
+        self.name = name
+        self.queue_sizes = queue_sizes
+        self.frequencies_ghz = dict(
+            frequencies_ghz if frequencies_ghz is not None else ISSUE_QUEUE_FREQUENCY_GHZ
+        )
+        self.current_size = initial_size
+        self.hysteresis = hysteresis
+        self.consecutive_decisions_required = consecutive_decisions_required
+        self._pending_candidate: int | None = None
+        self._pending_count = 0
+        self.tracker = ILPTracker(queue_sizes=queue_sizes)
+        self.decisions: list[QueueControllerDecision] = []
+
+    def observe(self, dest: int | None, sources: tuple[int, ...], *, tracked: bool) -> bool:
+        """Feed one renamed instruction; True when a decision is available."""
+        self.tracker.observe(dest, sources, tracked=tracked)
+        return self.tracker.all_windows_complete
+
+    def evaluate(self) -> QueueControllerDecision:
+        """Pick the queue size with the best frequency-scaled effective ILP.
+
+        A change is only requested when the winning size beats the current
+        size's score by the hysteresis margin for
+        ``consecutive_decisions_required`` windows in a row; each change pays
+        a PLL re-lock, so single noisy windows should not trigger one.
+        """
+        estimates = self.tracker.estimates()
+        scores = {
+            size: min(estimates[size], float(size)) * self.frequencies_ghz[size]
+            for size in self.queue_sizes
+        }
+        candidate = max(self.queue_sizes, key=lambda size: (scores[size], -size))
+        if candidate != self.current_size:
+            # Growing the queue commits the domain to a much lower frequency,
+            # so it must win by the full hysteresis margin; shrinking back
+            # only needs a small one (it recovers frequency).
+            margin = self.hysteresis if candidate > self.current_size else 0.02
+            if scores[candidate] <= scores[self.current_size] * (1.0 + margin):
+                candidate = self.current_size
+        if candidate == self.current_size:
+            self._pending_candidate = None
+            self._pending_count = 0
+            best_size = self.current_size
+        else:
+            if candidate == self._pending_candidate:
+                self._pending_count += 1
+            else:
+                self._pending_candidate = candidate
+                self._pending_count = 1
+            if self._pending_count >= self.consecutive_decisions_required:
+                best_size = candidate
+                self._pending_candidate = None
+                self._pending_count = 0
+            else:
+                best_size = self.current_size
+        decision = QueueControllerDecision(
+            best_size=best_size,
+            previous_size=self.current_size,
+            scores=scores,
+            ilp_estimates=estimates,
+        )
+        self.decisions.append(decision)
+        self.current_size = best_size
+        self.tracker.reset()
+        return decision

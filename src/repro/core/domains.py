@@ -1,0 +1,31 @@
+"""Clock-domain identifiers for the four-domain MCD machine."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Domain(str, enum.Enum):
+    """The independently clocked domains of the adaptive MCD processor.
+
+    Main memory is conceptually a fifth domain, but it runs at a fixed base
+    frequency and is therefore modelled by the latency-based
+    :class:`~repro.caches.memory.MainMemory` rather than by a clock.
+    """
+
+    FRONT_END = "front_end"
+    INTEGER = "integer"
+    FLOATING_POINT = "floating_point"
+    LOAD_STORE = "load_store"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Domains in a canonical order (used for reporting).
+ALL_DOMAINS: tuple[Domain, ...] = (
+    Domain.FRONT_END,
+    Domain.INTEGER,
+    Domain.FLOATING_POINT,
+    Domain.LOAD_STORE,
+)

@@ -1,0 +1,754 @@
+"""The adaptive MCD processor simulator.
+
+:class:`MCDProcessor` ties the substrates together into the four-domain GALS
+machine of the paper.  The same class also simulates the fully synchronous
+baseline: a synchronous :class:`~repro.core.configuration.MachineSpec` gives
+every domain the same clock, disables inter-domain synchronisation costs and
+uses the shallower misprediction penalty, so the two machines share every
+line of pipeline modelling and differ only where the paper says they differ.
+
+The simulation is event driven over clock edges: the main loop repeatedly
+advances whichever domain has the earliest pending clock edge and performs
+that domain's work for one cycle.  Times are integer picoseconds throughout.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator
+
+from repro.caches.hierarchy import CacheHierarchy
+from repro.caches.memory import MainMemory
+from repro.clocks.clock import DomainClock
+from repro.clocks.time import Picoseconds
+from repro.core.configuration import MachineSpec
+from repro.core.controllers.cache_controller import (
+    CacheLevel,
+    PhaseAdaptiveCacheController,
+)
+from repro.core.controllers.params import AdaptiveControlParams
+from repro.core.controllers.queue_controller import PhaseAdaptiveQueueController
+from repro.core.domains import Domain
+from repro.core.pll import PLLModel
+from repro.core.synchronization import SynchronizationModel
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import EXECUTION_LATENCY, OpClass, uses_fp_queue
+from repro.isa.registers import is_fp_register, register_index
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.frontend import FrontEnd
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.resources import FunctionalUnitPool, PhysicalRegisterFile
+from repro.pipeline.rob import ReorderBuffer
+from repro.analysis.metrics import ConfigurationChange, RunResult
+from repro.timing.tables import (
+    ADAPTIVE_DCACHE_CONFIGS,
+    ADAPTIVE_ICACHE_CONFIGS,
+    ISSUE_QUEUE_FREQUENCY_GHZ,
+)
+
+_INT_COMPLEX_OPS = frozenset({OpClass.INT_MULT, OpClass.INT_DIV})
+_FP_COMPLEX_OPS = frozenset({OpClass.FP_MULT, OpClass.FP_DIV, OpClass.FP_SQRT})
+
+#: Main-loop iterations without a commit after which the simulator assumes a
+#: modelling bug rather than spinning forever.
+_DEADLOCK_LIMIT = 2_000_000
+
+
+class MCDProcessor:
+    """Simulator for one machine specification.
+
+    Parameters
+    ----------
+    spec:
+        The machine to simulate (adaptive MCD or fully synchronous).
+    control:
+        Parameters of the phase-adaptive controllers; only used when
+        ``phase_adaptive`` is True.
+    phase_adaptive:
+        Enable the run-time control algorithms (Accounting-Cache controller
+        and ILP-tracking queue controllers).  Requires an adaptive spec.
+    seed:
+        Seed for the PLL lock-time sampler and clock jitter.
+    jitter_fraction:
+        Optional peak-to-peak clock jitter as a fraction of each period.
+    """
+
+    def __init__(
+        self,
+        spec: MachineSpec,
+        *,
+        control: AdaptiveControlParams | None = None,
+        phase_adaptive: bool = False,
+        seed: int = 0,
+        jitter_fraction: float = 0.0,
+    ) -> None:
+        if phase_adaptive and not spec.is_adaptive:
+            raise ValueError("phase-adaptive control requires an adaptive MCD spec")
+        self.spec = spec
+        self.params = spec.parameters
+        self.control = control if control is not None else AdaptiveControlParams()
+        self.phase_adaptive = phase_adaptive
+
+        self.clocks: dict[Domain, DomainClock] = {
+            domain: DomainClock(
+                domain.value,
+                spec.frequency(domain),
+                jitter_fraction=jitter_fraction,
+                seed=seed,
+            )
+            for domain in Domain
+        }
+        self._clock_by_name = {domain.value: clock for domain, clock in self.clocks.items()}
+        self.sync = SynchronizationModel(enabled=spec.inter_domain_sync)
+        self.pll = PLLModel(
+            mean_us=self.control.pll_mean_us,
+            min_us=self.control.pll_min_us,
+            max_us=self.control.pll_max_us,
+            interval_scaled=self.control.pll_interval_scaled,
+            seed=seed,
+        )
+
+        params = self.params
+        self.memory = MainMemory(
+            first_chunk_ns=params.memory_first_chunk_ns,
+            subsequent_chunk_ns=params.memory_subsequent_chunk_ns,
+        )
+        self.hierarchy = CacheHierarchy(
+            spec.dcache, b_enabled=spec.use_b_partitions, memory=self.memory
+        )
+        self.rob = ReorderBuffer(params.reorder_buffer_entries)
+        self.lsq = LoadStoreQueue(params.load_store_queue_entries)
+        self.int_regs = PhysicalRegisterFile(params.physical_int_registers)
+        self.fp_regs = PhysicalRegisterFile(params.physical_fp_registers)
+        self.int_queue = IssueQueue(spec.int_queue_size, name="int-queue")
+        self.fp_queue = IssueQueue(spec.fp_queue_size, name="fp-queue")
+        self.int_units = FunctionalUnitPool(
+            alus=params.int_alus,
+            complex_units=params.int_complex_units,
+            complex_ops=_INT_COMPLEX_OPS,
+        )
+        self.fp_units = FunctionalUnitPool(
+            alus=params.fp_alus,
+            complex_units=params.fp_complex_units,
+            complex_ops=_FP_COMPLEX_OPS,
+        )
+
+        self.frontend: FrontEnd | None = None
+        self._last_writer: dict[str, DynInst] = {}
+        self._pending_events: list[tuple[Picoseconds, Callable[[], None]]] = []
+        self._changes_in_progress: set[Domain] = set()
+        self._last_commit_time: Picoseconds = 0
+        self._configuration_changes: list[ConfigurationChange] = []
+
+        # Phase-adaptive controllers (created lazily once the front end and
+        # therefore the I-cache exist).
+        self._dcache_controller: PhaseAdaptiveCacheController | None = None
+        self._icache_controller: PhaseAdaptiveCacheController | None = None
+        self._int_queue_controller: PhaseAdaptiveQueueController | None = None
+        self._fp_queue_controller: PhaseAdaptiveQueueController | None = None
+        self._interval_start_time: dict[str, Picoseconds] = {}
+        self._last_interval_duration: Picoseconds = 0
+
+    # ------------------------------------------------------------------ run
+
+    def run(
+        self,
+        trace: Iterable[Instruction] | Iterator[Instruction],
+        *,
+        max_instructions: int,
+        warmup_instructions: int = 0,
+        workload_name: str = "",
+    ) -> RunResult:
+        """Simulate *trace* until ``max_instructions`` commit.
+
+        ``warmup_instructions`` instructions are first streamed through the
+        caches and branch predictor with no timing effects, so that the
+        measured window starts from a warm memory hierarchy (the stand-in for
+        the paper's 100 M-instruction fast-forward windows).
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        trace_iter = iter(trace)
+        physical_icache = (
+            ADAPTIVE_ICACHE_CONFIGS[-1].icache if self.spec.is_adaptive else None
+        )
+        self.frontend = FrontEnd(
+            trace_iter,
+            icache_config=self.spec.icache,
+            physical_geometry=physical_icache,
+            fetch_width=self.params.fetch_width,
+            fetch_queue_capacity=self.params.fetch_queue_entries,
+            decode_cycles=self.params.decode_cycles,
+            use_b_partition=self.spec.use_b_partitions,
+            icache_miss_handler=self._service_icache_miss,
+        )
+        if warmup_instructions > 0:
+            self._warm_up(warmup_instructions)
+        if self.phase_adaptive:
+            self._build_controllers()
+
+        self._main_loop(max_instructions)
+        return self._build_result(workload_name)
+
+    # ------------------------------------------------------------ internals
+
+    def _warm_up(self, count: int) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        ls_period = self.clocks[Domain.LOAD_STORE].period_ps
+        for _ in range(count):
+            instruction = frontend.take_instruction()
+            if instruction is None:
+                break
+            frontend.warm(instruction)
+            if instruction.is_memory_op and instruction.address is not None:
+                self.hierarchy.access_data(
+                    instruction.address,
+                    is_store=instruction.is_store,
+                    now_ps=0,
+                    period_ps=ls_period,
+                )
+        frontend.reset_warm_state()
+        self.hierarchy.reset_statistics()
+        self.memory.reset()
+
+    def _build_controllers(self) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        control = self.control
+        if control.adapt_caches:
+            dcache_levels = (
+                CacheLevel(
+                    cache=self.hierarchy.l1d,
+                    latencies=tuple(c.l1_latency for c in ADAPTIVE_DCACHE_CONFIGS),
+                    a_ways=tuple(c.ways for c in ADAPTIVE_DCACHE_CONFIGS),
+                ),
+                CacheLevel(
+                    cache=self.hierarchy.l2,
+                    latencies=tuple(c.l2_latency for c in ADAPTIVE_DCACHE_CONFIGS),
+                    a_ways=tuple(c.ways for c in ADAPTIVE_DCACHE_CONFIGS),
+                ),
+            )
+            self._dcache_controller = PhaseAdaptiveCacheController(
+                name="dcache",
+                levels=dcache_levels,
+                frequencies_ghz=tuple(c.frequency_ghz for c in ADAPTIVE_DCACHE_CONFIGS),
+                beyond_last_level_ps=control.memory_time_ps,
+                interval_instructions=control.interval_instructions,
+                initial_index=self._current_dcache_index(),
+                hysteresis=control.cache_hysteresis,
+                consecutive_decisions_required=control.cache_consecutive_decisions,
+                b_hit_overlap_factor=control.cache_b_hit_overlap_factor,
+            )
+            icache_levels = (
+                CacheLevel(
+                    cache=frontend.icache,
+                    latencies=tuple(c.l1_latency for c in ADAPTIVE_ICACHE_CONFIGS),
+                    a_ways=tuple(c.ways for c in ADAPTIVE_ICACHE_CONFIGS),
+                ),
+            )
+            self._icache_controller = PhaseAdaptiveCacheController(
+                name="icache",
+                levels=icache_levels,
+                frequencies_ghz=tuple(c.frequency_ghz for c in ADAPTIVE_ICACHE_CONFIGS),
+                beyond_last_level_ps=control.icache_miss_time_ps,
+                interval_instructions=control.interval_instructions,
+                initial_index=self._current_icache_index(),
+                hysteresis=control.cache_hysteresis,
+                consecutive_decisions_required=control.cache_consecutive_decisions,
+                b_hit_overlap_factor=control.cache_b_hit_overlap_factor,
+            )
+            self._interval_start_time["dcache"] = 0
+            self._interval_start_time["icache"] = 0
+        if control.adapt_queues:
+            self._int_queue_controller = PhaseAdaptiveQueueController(
+                name="int-queue",
+                initial_size=self.spec.int_queue_size,
+                hysteresis=control.queue_hysteresis,
+                consecutive_decisions_required=control.queue_consecutive_decisions,
+            )
+            self._fp_queue_controller = PhaseAdaptiveQueueController(
+                name="fp-queue",
+                initial_size=self.spec.fp_queue_size,
+                hysteresis=control.queue_hysteresis,
+                consecutive_decisions_required=control.queue_consecutive_decisions,
+            )
+
+    def _current_dcache_index(self) -> int:
+        return next(
+            index
+            for index, config in enumerate(ADAPTIVE_DCACHE_CONFIGS)
+            if config.name == self.hierarchy.config.name
+        )
+
+    def _current_icache_index(self) -> int:
+        assert self.frontend is not None
+        return next(
+            index
+            for index, config in enumerate(ADAPTIVE_ICACHE_CONFIGS)
+            if config.name == self.frontend.icache_config.name
+        )
+
+    # ---------------------------------------------------------- main loop
+
+    def _main_loop(self, max_instructions: int) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        clocks = self.clocks
+        idle_iterations = 0
+        last_committed = 0
+        while self.rob.total_committed < max_instructions:
+            if (
+                frontend.trace_exhausted
+                and self.rob.is_empty()
+                and frontend.fetch_queue.occupancy == 0
+            ):
+                break
+            domain = min(Domain, key=lambda d: clocks[d].next_edge)
+            now = clocks[domain].next_edge
+            if self._pending_events:
+                self._process_pending_events(now)
+            if domain is Domain.FRONT_END:
+                self._front_end_cycle(now)
+            elif domain is Domain.INTEGER:
+                self._integer_cycle(now)
+            elif domain is Domain.FLOATING_POINT:
+                self._floating_point_cycle(now)
+            else:
+                self._load_store_cycle(now)
+            clocks[domain].advance()
+
+            if self.rob.total_committed == last_committed:
+                idle_iterations += 1
+                if idle_iterations > _DEADLOCK_LIMIT:
+                    raise RuntimeError(
+                        "simulation made no forward progress for "
+                        f"{_DEADLOCK_LIMIT} cycles (committed="
+                        f"{self.rob.total_committed}); this indicates a "
+                        "pipeline modelling bug"
+                    )
+            else:
+                idle_iterations = 0
+                last_committed = self.rob.total_committed
+
+    def _process_pending_events(self, now: Picoseconds) -> None:
+        due = [event for event in self._pending_events if event[0] <= now]
+        if not due:
+            return
+        self._pending_events = [event for event in self._pending_events if event[0] > now]
+        for _, action in sorted(due, key=lambda event: event[0]):
+            action()
+
+    # ------------------------------------------------------------ front end
+
+    def _front_end_cycle(self, now: Picoseconds) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        clock = self.clocks[Domain.FRONT_END]
+        period = clock.period_ps
+
+        self._commit(now, clock)
+        self._dispatch(now, clock)
+        frontend.fetch_cycle(now, period)
+
+    def _commit(self, now: Picoseconds, fe_clock: DomainClock) -> None:
+        committed = 0
+        while committed < self.params.retire_width:
+            head = self.rob.head
+            if head is None or not head.completed:
+                break
+            ready_time = head.completion_time or 0
+            producer_clock = self._clock_by_name.get(head.exec_domain)
+            if producer_clock is not None and producer_clock is not fe_clock:
+                ready_time = self.sync.transfer(ready_time, producer_clock, fe_clock)
+            if ready_time > now:
+                break
+            self.rob.commit_head()
+            head.commit_time = now
+            committed += 1
+            self._last_commit_time = now
+            dest = head.instruction.dest
+            if dest is not None:
+                if is_fp_register(dest):
+                    self.fp_regs.release()
+                else:
+                    self.int_regs.release()
+                if self._last_writer.get(dest) is head:
+                    del self._last_writer[dest]
+            if head.is_memory_op:
+                self.lsq.release(head)
+            if self.phase_adaptive:
+                self._on_commit(now)
+
+    def _dispatch(self, now: Picoseconds, fe_clock: DomainClock) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        dispatched = 0
+        while dispatched < self.params.decode_width:
+            inst = frontend.fetch_queue.peek()
+            if inst is None or inst.dispatch_ready_time > now:
+                break
+            if not self.rob.has_space:
+                break
+            instruction = inst.instruction
+            dest = instruction.dest
+            regfile = None
+            if dest is not None:
+                regfile = self.fp_regs if is_fp_register(dest) else self.int_regs
+                if not regfile.can_allocate():
+                    break
+            is_fp_op = uses_fp_queue(instruction.op)
+            queue = self.fp_queue if is_fp_op else self.int_queue
+            if not queue.has_space:
+                break
+            if instruction.is_memory_op and not self.lsq.has_space:
+                break
+
+            frontend.fetch_queue.pop()
+            producers = tuple(
+                self._last_writer.get(source) for source in instruction.sources
+            )
+            inst.producers = producers
+            if dest is not None and regfile is not None:
+                regfile.allocate()
+                self._last_writer[dest] = inst
+            self.rob.dispatch(inst)
+            if instruction.is_memory_op:
+                self.lsq.allocate(inst)
+            inst.dispatch_time = now
+            target_domain = Domain.FLOATING_POINT if is_fp_op else Domain.INTEGER
+            arrival = self.sync.transfer(
+                now, fe_clock, self.clocks[target_domain], fifo=True
+            )
+            queue.dispatch(inst, arrival)
+            dispatched += 1
+
+            if self.phase_adaptive and self.control.adapt_queues:
+                self._feed_queue_controllers(instruction, now)
+
+    # --------------------------------------------------------- exec domains
+
+    def _operand_ready(self, inst: DynInst, now: Picoseconds, domain: Domain) -> bool:
+        consumer_clock = self.clocks[domain]
+        for producer in inst.producers:
+            if producer is None:
+                continue
+            completion = producer.completion_time
+            if completion is None:
+                return False
+            if producer.exec_domain != domain.value:
+                producer_clock = self._clock_by_name.get(producer.exec_domain)
+                if producer_clock is not None:
+                    completion = self.sync.transfer(
+                        completion, producer_clock, consumer_clock, record=False
+                    )
+            if completion > now:
+                return False
+        return True
+
+    def _integer_cycle(self, now: Picoseconds) -> None:
+        clock = self.clocks[Domain.INTEGER]
+        period = clock.period_ps
+        queue = self.int_queue
+        queue.admit_arrivals(now)
+        self.int_units.begin_cycle(now)
+        issued = 0
+        ready = queue.ready_entries(
+            now, lambda inst, time: self._operand_ready(inst, time, Domain.INTEGER)
+        )
+        for inst in ready:
+            if issued >= self.params.issue_width:
+                break
+            op = inst.op
+            latency_ps = EXECUTION_LATENCY[op] * period
+            if not self.int_units.try_reserve(op, now, latency_ps):
+                continue
+            queue.remove(inst)
+            inst.issue_time = now
+            issued += 1
+            if inst.is_memory_op:
+                inst.agen_time = now + period
+                inst.lsq_arrival_time = self.sync.transfer(
+                    inst.agen_time, clock, self.clocks[Domain.LOAD_STORE], fifo=True
+                )
+            else:
+                completion = now + latency_ps
+                inst.completion_time = completion
+                inst.exec_domain = Domain.INTEGER.value
+                if inst.mispredicted:
+                    self._schedule_branch_redirect(inst, completion, clock)
+        queue.sample_occupancy()
+
+    def _floating_point_cycle(self, now: Picoseconds) -> None:
+        clock = self.clocks[Domain.FLOATING_POINT]
+        period = clock.period_ps
+        queue = self.fp_queue
+        queue.admit_arrivals(now)
+        self.fp_units.begin_cycle(now)
+        issued = 0
+        ready = queue.ready_entries(
+            now, lambda inst, time: self._operand_ready(inst, time, Domain.FLOATING_POINT)
+        )
+        for inst in ready:
+            if issued >= self.params.issue_width:
+                break
+            op = inst.op
+            latency_ps = EXECUTION_LATENCY[op] * period
+            if not self.fp_units.try_reserve(op, now, latency_ps):
+                continue
+            queue.remove(inst)
+            inst.issue_time = now
+            issued += 1
+            inst.completion_time = now + latency_ps
+            inst.exec_domain = Domain.FLOATING_POINT.value
+        queue.sample_occupancy()
+
+    def _load_store_cycle(self, now: Picoseconds) -> None:
+        clock = self.clocks[Domain.LOAD_STORE]
+        period = clock.period_ps
+        performed = 0
+        for inst in self.lsq.occupants():
+            if performed >= self.params.cache_ports:
+                break
+            if inst.memory_issued:
+                continue
+            arrival = inst.lsq_arrival_time
+            if arrival is None or arrival > now:
+                continue
+            address = inst.instruction.address or 0
+            if inst.is_load:
+                older_store = self.lsq.pending_older_store(inst)
+                if older_store is not None:
+                    forwardable = self.lsq.forwardable_store(inst, now)
+                    if forwardable is None:
+                        continue
+                    inst.completion_time = now + period
+                    inst.exec_domain = Domain.LOAD_STORE.value
+                    inst.memory_issued = True
+                    self.lsq.stats.loads_forwarded += 1
+                    performed += 1
+                    continue
+                result = self.hierarchy.access_data(
+                    address, is_store=False, now_ps=now, period_ps=period
+                )
+                inst.completion_time = result.completion_ps
+                inst.exec_domain = Domain.LOAD_STORE.value
+                inst.memory_issued = True
+                self.lsq.stats.loads_performed += 1
+                performed += 1
+            else:
+                result = self.hierarchy.access_data(
+                    address, is_store=True, now_ps=now, period_ps=period
+                )
+                inst.completion_time = result.completion_ps
+                inst.exec_domain = Domain.LOAD_STORE.value
+                inst.memory_issued = True
+                self.lsq.stats.stores_performed += 1
+                performed += 1
+
+    #: Pipeline depth already represented by the explicit fetch/decode/dispatch
+    #: and issue modelling.  The configured misprediction penalties (Table 5)
+    #: are *total* refill depths, so the explicitly added redirect delay is the
+    #: configured penalty minus what the re-fetched instructions will pay
+    #: anyway on their way back to the execution units.
+    _MODELLED_REFILL_FRONT_END_CYCLES = 4
+    _MODELLED_REFILL_INTEGER_CYCLES = 3
+
+    def _schedule_branch_redirect(
+        self, branch: DynInst, completion: Picoseconds, int_clock: DomainClock
+    ) -> None:
+        frontend = self.frontend
+        assert frontend is not None
+        fe_clock = self.clocks[Domain.FRONT_END]
+        extra_int = max(
+            0, self.spec.mispredict_integer_cycles - self._MODELLED_REFILL_INTEGER_CYCLES
+        )
+        extra_fe = max(
+            0,
+            self.spec.mispredict_front_end_cycles - self._MODELLED_REFILL_FRONT_END_CYCLES,
+        )
+        resolved = completion + extra_int * int_clock.period_ps
+        redirect = self.sync.transfer(resolved, int_clock, fe_clock)
+        redirect += extra_fe * fe_clock.period_ps
+        frontend.resume_after_branch(branch, redirect)
+
+    def _service_icache_miss(self, address: int, now: Picoseconds) -> Picoseconds:
+        """Service an I-cache miss from the unified L2 across the boundary."""
+        fe_clock = self.clocks[Domain.FRONT_END]
+        ls_clock = self.clocks[Domain.LOAD_STORE]
+        request = self.sync.transfer(now, fe_clock, ls_clock)
+        ready = self.hierarchy.access_l2_for_instruction(
+            address, now_ps=request, period_ps=ls_clock.period_ps
+        )
+        return self.sync.transfer(ready, ls_clock, fe_clock)
+
+    # ------------------------------------------------------------ adaptation
+
+    def _feed_queue_controllers(self, instruction: Instruction, now: Picoseconds) -> None:
+        dest = instruction.dest
+        dest_index = register_index(dest) if dest is not None else None
+        source_indices = tuple(register_index(source) for source in instruction.sources)
+        is_fp_op = uses_fp_queue(instruction.op)
+        for controller, domain, queue in (
+            (self._int_queue_controller, Domain.INTEGER, self.int_queue),
+            (self._fp_queue_controller, Domain.FLOATING_POINT, self.fp_queue),
+        ):
+            if controller is None:
+                continue
+            tracked = is_fp_op if domain is Domain.FLOATING_POINT else not is_fp_op
+            if controller.observe(dest_index, source_indices, tracked=tracked):
+                decision = controller.evaluate()
+                if decision.changed and domain not in self._changes_in_progress:
+                    self._apply_queue_change(controller, domain, queue, decision.best_size, now)
+
+    def _on_commit(self, now: Picoseconds) -> None:
+        for controller, structure in (
+            (self._dcache_controller, "dcache"),
+            (self._icache_controller, "icache"),
+        ):
+            if controller is None:
+                continue
+            if not controller.note_committed():
+                continue
+            interval_duration = now - self._interval_start_time.get(structure, 0)
+            self._interval_start_time[structure] = now
+            self._last_interval_duration = max(interval_duration, 1)
+            decision = controller.evaluate_interval()
+            domain = Domain.LOAD_STORE if structure == "dcache" else Domain.FRONT_END
+            if decision.changed and domain not in self._changes_in_progress:
+                self._apply_cache_change(structure, domain, decision.best_index, now)
+            else:
+                self._record_configuration(structure, domain, decision.best_index, now)
+
+    def _configuration_name(self, structure: str, index: int) -> str:
+        if structure == "dcache":
+            return ADAPTIVE_DCACHE_CONFIGS[index].name
+        if structure == "icache":
+            return ADAPTIVE_ICACHE_CONFIGS[index].name
+        return str(index)
+
+    def _record_configuration(
+        self, structure: str, domain: Domain, index: int, now: Picoseconds
+    ) -> None:
+        self._configuration_changes.append(
+            ConfigurationChange(
+                committed_instructions=self.rob.total_committed,
+                time_ps=now,
+                domain=domain.value,
+                structure=structure,
+                configuration=self._configuration_name(structure, index),
+                index=index,
+            )
+        )
+
+    def _apply_cache_change(
+        self, structure: str, domain: Domain, new_index: int, now: Picoseconds
+    ) -> None:
+        clock = self.clocks[domain]
+        if structure == "dcache":
+            config = ADAPTIVE_DCACHE_CONFIGS[new_index]
+            new_frequency = config.frequency_ghz
+            apply_structure = lambda: self.hierarchy.apply_config(config)  # noqa: E731
+        else:
+            config = ADAPTIVE_ICACHE_CONFIGS[new_index]
+            new_frequency = config.frequency_ghz
+            frontend = self.frontend
+            assert frontend is not None
+            apply_structure = lambda: frontend.apply_icache_config(  # noqa: E731
+                config, use_b_partition=self.spec.use_b_partitions
+            )
+        lock_time = self.pll.sample_lock_ps(self._last_interval_duration)
+        upsizing = new_frequency < clock.frequency_ghz
+        self._changes_in_progress.add(domain)
+
+        def finish() -> None:
+            if upsizing:
+                apply_structure()
+            clock.set_frequency(new_frequency)
+            self._changes_in_progress.discard(domain)
+
+        if not upsizing:
+            # Downsizing: the smaller structure is safe at the old (slower)
+            # frequency, so it switches immediately; the faster clock waits
+            # for the PLL to re-lock.
+            apply_structure()
+        self._pending_events.append((now + lock_time, finish))
+        self._record_configuration(structure, domain, new_index, now)
+
+    def _apply_queue_change(
+        self,
+        controller: PhaseAdaptiveQueueController,
+        domain: Domain,
+        queue: IssueQueue,
+        new_size: int,
+        now: Picoseconds,
+    ) -> None:
+        clock = self.clocks[domain]
+        new_frequency = ISSUE_QUEUE_FREQUENCY_GHZ[new_size]
+        upsizing = new_size > queue.capacity
+        lock_time = self.pll.sample_lock_ps(self._last_interval_duration or None)
+        self._changes_in_progress.add(domain)
+
+        def finish() -> None:
+            if upsizing:
+                queue.set_capacity(new_size)
+            clock.set_frequency(new_frequency)
+            self._changes_in_progress.discard(domain)
+
+        if not upsizing:
+            queue.set_capacity(new_size)
+        self._pending_events.append((now + lock_time, finish))
+        structure = "int-queue" if domain is Domain.INTEGER else "fp-queue"
+        self._configuration_changes.append(
+            ConfigurationChange(
+                committed_instructions=self.rob.total_committed,
+                time_ps=now,
+                domain=domain.value,
+                structure=structure,
+                configuration=str(new_size),
+                index=new_size,
+            )
+        )
+
+    # ------------------------------------------------------------- results
+
+    def _build_result(self, workload_name: str) -> RunResult:
+        frontend = self.frontend
+        assert frontend is not None
+        hierarchy_stats = self.hierarchy.stats
+        result = RunResult(
+            workload=workload_name,
+            machine=self.spec.describe(),
+            style=self.spec.style.value,
+            committed_instructions=self.rob.total_committed,
+            execution_time_ps=self._last_commit_time,
+            domain_cycles={
+                domain.value: clock.cycle_count for domain, clock in self.clocks.items()
+            },
+            final_frequencies_ghz={
+                domain.value: clock.frequency_ghz for domain, clock in self.clocks.items()
+            },
+            branch_predictions=frontend.stats.branches,
+            branch_mispredictions=frontend.stats.mispredictions,
+            icache_accesses=frontend.stats.icache_accesses,
+            icache_b_hits=frontend.stats.icache_b_hits,
+            icache_misses=frontend.stats.icache_misses,
+            loads=hierarchy_stats.loads,
+            stores=hierarchy_stats.stores,
+            l1d_hits_a=hierarchy_stats.l1_hits_a,
+            l1d_hits_b=hierarchy_stats.l1_hits_b,
+            l1d_misses=hierarchy_stats.l1_misses,
+            l2_hits_a=hierarchy_stats.l2_hits_a,
+            l2_hits_b=hierarchy_stats.l2_hits_b,
+            l2_misses=hierarchy_stats.l2_misses,
+            memory_accesses=self.memory.stats.accesses,
+            loads_forwarded=self.lsq.stats.loads_forwarded,
+            sync_transfers=self.sync.stats.transfers,
+            sync_penalties=self.sync.stats.penalties,
+            fetch_stall_cycles=frontend.stats.fetch_stall_cycles,
+            branch_stall_cycles=frontend.stats.branch_stall_cycles,
+            int_queue_average_occupancy=self.int_queue.average_occupancy,
+            fp_queue_average_occupancy=self.fp_queue.average_occupancy,
+            configuration_changes=list(self._configuration_changes),
+        )
+        return result

@@ -1,0 +1,92 @@
+"""Dynamic instruction representation consumed by the timing pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass, is_memory
+from repro.isa.registers import RegisterName
+
+
+@dataclass(slots=True)
+class Instruction:
+    """A single dynamic instruction in a workload trace.
+
+    Parameters
+    ----------
+    pc:
+        Program counter of the instruction (byte address).  Used for
+        instruction-cache accesses and branch-predictor indexing.
+    op:
+        Operation class (:class:`~repro.isa.opcodes.OpClass`).
+    sources:
+        Logical source register names.
+    dest:
+        Logical destination register name, or ``None`` for instructions that
+        produce no register result (stores, branches, nops).
+    address:
+        Effective memory address for loads and stores; ``None`` otherwise.
+    is_branch:
+        True if the instruction is a control transfer.
+    taken:
+        Branch outcome (only meaningful when ``is_branch``).
+    target:
+        Branch target address (only meaningful when ``is_branch``).
+    seq:
+        Dynamic sequence number, filled in by the trace source.  Used for
+        ordering, statistics and phase bookkeeping.
+    """
+
+    pc: int
+    op: OpClass
+    sources: tuple[RegisterName, ...] = ()
+    dest: RegisterName | None = None
+    address: int | None = None
+    is_branch: bool = False
+    taken: bool = False
+    target: int | None = None
+    seq: int = field(default=-1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op is OpClass.BRANCH and not self.is_branch:
+            self.is_branch = True
+        if is_memory(self.op) and self.address is None:
+            raise ValueError(f"memory instruction requires an address: {self!r}")
+        if self.is_branch and self.target is None:
+            # Fall through to the next sequential instruction by default.
+            self.target = self.pc + 4
+
+    @property
+    def is_load(self) -> bool:
+        """True if the instruction reads the data cache."""
+        return self.op is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True if the instruction writes the data cache."""
+        return self.op is OpClass.STORE
+
+    @property
+    def is_memory_op(self) -> bool:
+        """True if the instruction accesses the data-cache hierarchy."""
+        return is_memory(self.op)
+
+    @property
+    def next_pc(self) -> int:
+        """Architecturally correct next program counter."""
+        if self.is_branch and self.taken and self.target is not None:
+            return self.target
+        return self.pc + 4
+
+    def describe(self) -> str:
+        """Return a short human-readable rendering, useful in logs and tests."""
+        parts = [f"{self.op.value}@{self.pc:#x}"]
+        if self.dest is not None:
+            parts.append(f"-> {self.dest}")
+        if self.sources:
+            parts.append("src=" + ",".join(self.sources))
+        if self.address is not None:
+            parts.append(f"addr={self.address:#x}")
+        if self.is_branch:
+            parts.append("taken" if self.taken else "not-taken")
+        return " ".join(parts)

@@ -1,0 +1,100 @@
+"""Operation classes and execution latencies.
+
+The paper models an Alpha 21264-like machine (Table 5).  The timing pipeline
+only needs to distinguish operation *classes* -- which functional unit an
+instruction occupies, for how many cycles, and which issue queue it enters --
+so the ISA is reduced to the classes below.
+
+Latencies are given in cycles of the *executing* domain (integer domain for
+integer operations, floating-point domain for FP operations, load/store domain
+for the cache-access portion of memory operations).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Classes of dynamic instructions recognised by the timing model."""
+
+    INT_ALU = "int_alu"
+    INT_MULT = "int_mult"
+    INT_DIV = "int_div"
+    FP_ALU = "fp_alu"
+    FP_MULT = "fp_mult"
+    FP_DIV = "fp_div"
+    FP_SQRT = "fp_sqrt"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"OpClass.{self.name}"
+
+
+#: Execution latency, in cycles of the executing domain, for each operation
+#: class.  Memory operations additionally pay the data-cache access latency in
+#: the load/store domain; the value here is the address-generation latency in
+#: the integer domain.
+EXECUTION_LATENCY: dict[OpClass, int] = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MULT: 3,
+    OpClass.INT_DIV: 20,
+    OpClass.FP_ALU: 2,
+    OpClass.FP_MULT: 4,
+    OpClass.FP_DIV: 12,
+    OpClass.FP_SQRT: 24,
+    OpClass.LOAD: 1,
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.NOP: 1,
+}
+
+_INT_CLASSES = frozenset(
+    {
+        OpClass.INT_ALU,
+        OpClass.INT_MULT,
+        OpClass.INT_DIV,
+        OpClass.BRANCH,
+        OpClass.LOAD,
+        OpClass.STORE,
+        OpClass.NOP,
+    }
+)
+
+_FP_CLASSES = frozenset(
+    {OpClass.FP_ALU, OpClass.FP_MULT, OpClass.FP_DIV, OpClass.FP_SQRT}
+)
+
+_MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
+
+
+def is_integer(op: OpClass) -> bool:
+    """Return True if *op* executes on the integer domain's units."""
+    return op in _INT_CLASSES
+
+
+def is_floating_point(op: OpClass) -> bool:
+    """Return True if *op* executes on the floating-point domain's units."""
+    return op in _FP_CLASSES
+
+
+def is_memory(op: OpClass) -> bool:
+    """Return True if *op* accesses the data-cache hierarchy."""
+    return op in _MEMORY_CLASSES
+
+
+def uses_int_queue(op: OpClass) -> bool:
+    """Return True if *op* is dispatched into the integer issue queue.
+
+    As in the MCD model, loads and stores compute their effective address in
+    the integer domain and therefore occupy an integer issue-queue slot.
+    """
+    return op in _INT_CLASSES
+
+
+def uses_fp_queue(op: OpClass) -> bool:
+    """Return True if *op* is dispatched into the floating-point issue queue."""
+    return op in _FP_CLASSES

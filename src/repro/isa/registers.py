@@ -1,0 +1,69 @@
+"""Logical register namespace.
+
+The machine has 32 logical integer registers (``r0``..``r31``) and 32 logical
+floating-point registers (``f0``..``f31``), mirroring the Alpha-like target of
+the paper.  Register names are plain strings so traces remain cheap to build
+and easy to read; helpers here convert between names and dense indices used by
+the rename stage and by the ILP-tracking hardware model (Section 3.2 of the
+paper tracks timestamps for 32 + 32 logical registers).
+"""
+
+from __future__ import annotations
+
+#: Number of logical integer registers.
+NUM_INT_REGS = 32
+#: Number of logical floating-point registers.
+NUM_FP_REGS = 32
+
+#: Type alias for a register name such as ``"r4"`` or ``"f17"``.
+RegisterName = str
+
+
+def int_reg(index: int) -> RegisterName:
+    """Return the name of logical integer register *index*."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ValueError(f"integer register index out of range: {index}")
+    return f"r{index}"
+
+
+def fp_reg(index: int) -> RegisterName:
+    """Return the name of logical floating-point register *index*."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ValueError(f"floating-point register index out of range: {index}")
+    return f"f{index}"
+
+
+def is_int_register(name: RegisterName) -> bool:
+    """Return True if *name* denotes an integer register."""
+    return name.startswith("r")
+
+
+def is_fp_register(name: RegisterName) -> bool:
+    """Return True if *name* denotes a floating-point register."""
+    return name.startswith("f")
+
+
+def register_index(name: RegisterName) -> int:
+    """Return the dense index of *name* within the combined register space.
+
+    Integer registers map to ``0..31`` and floating-point registers map to
+    ``32..63``.  This is the index used by the rename map and by the
+    ILP-tracking timestamp array.
+    """
+    try:
+        number = int(name[1:])
+    except (ValueError, IndexError) as exc:
+        raise ValueError(f"malformed register name: {name!r}") from exc
+    if name.startswith("r"):
+        if not 0 <= number < NUM_INT_REGS:
+            raise ValueError(f"integer register out of range: {name!r}")
+        return number
+    if name.startswith("f"):
+        if not 0 <= number < NUM_FP_REGS:
+            raise ValueError(f"floating-point register out of range: {name!r}")
+        return NUM_INT_REGS + number
+    raise ValueError(f"unknown register class: {name!r}")
+
+
+#: Total number of logical registers tracked by rename / ILP hardware.
+TOTAL_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS

@@ -1,0 +1,22 @@
+"""Timing-pipeline substrate shared by the adaptive MCD machine and the
+fully synchronous baseline: dynamic-instruction bookkeeping, issue queues,
+reorder buffer, load/store queue, register files and functional units, and
+the fetch/rename front end."""
+
+from repro.pipeline.dyninst import DynInst
+from repro.pipeline.resources import FunctionalUnitPool, PhysicalRegisterFile
+from repro.pipeline.issue_queue import IssueQueue
+from repro.pipeline.rob import ReorderBuffer
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.frontend import FetchQueue, FrontEnd
+
+__all__ = [
+    "DynInst",
+    "FunctionalUnitPool",
+    "PhysicalRegisterFile",
+    "IssueQueue",
+    "ReorderBuffer",
+    "LoadStoreQueue",
+    "FetchQueue",
+    "FrontEnd",
+]

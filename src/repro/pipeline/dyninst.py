@@ -1,0 +1,88 @@
+"""Dynamic-instruction bookkeeping used throughout the pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.clocks.time import Picoseconds
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass, is_floating_point
+
+
+@dataclass(slots=True)
+class DynInst:
+    """One in-flight dynamic instruction.
+
+    A :class:`DynInst` wraps the trace-level
+    :class:`~repro.isa.instruction.Instruction` with the timing state the
+    pipeline needs: when it was fetched, dispatched, issued and completed,
+    which domain produced its result, and which in-flight producers its
+    source operands depend on.
+    """
+
+    instruction: Instruction
+    #: Producers of each source operand that were still in flight at rename
+    #: time (``None`` entries mean the operand was already architecturally
+    #: ready).
+    producers: tuple["DynInst | None", ...] = ()
+    fetch_time: Picoseconds = 0
+    dispatch_ready_time: Picoseconds = 0
+    dispatch_time: Picoseconds | None = None
+    queue_arrival_time: Picoseconds | None = None
+    issue_time: Picoseconds | None = None
+    agen_time: Picoseconds | None = None
+    lsq_arrival_time: Picoseconds | None = None
+    completion_time: Picoseconds | None = None
+    commit_time: Picoseconds | None = None
+    #: Name of the domain whose clock produced ``completion_time``.
+    exec_domain: str = "integer"
+    mispredicted: bool = False
+    squashed: bool = False
+    memory_issued: bool = field(default=False)
+
+    # Convenience accessors -------------------------------------------------
+
+    @property
+    def seq(self) -> int:
+        """Dynamic sequence number of the wrapped instruction."""
+        return self.instruction.seq
+
+    @property
+    def op(self) -> OpClass:
+        """Operation class of the wrapped instruction."""
+        return self.instruction.op
+
+    @property
+    def is_branch(self) -> bool:
+        """True if the instruction is a control transfer."""
+        return self.instruction.is_branch
+
+    @property
+    def is_memory_op(self) -> bool:
+        """True if the instruction accesses the data cache."""
+        return self.instruction.is_memory_op
+
+    @property
+    def is_load(self) -> bool:
+        """True for loads."""
+        return self.instruction.is_load
+
+    @property
+    def is_store(self) -> bool:
+        """True for stores."""
+        return self.instruction.is_store
+
+    @property
+    def is_fp(self) -> bool:
+        """True if the instruction executes in the floating-point domain."""
+        return is_floating_point(self.instruction.op)
+
+    @property
+    def completed(self) -> bool:
+        """True once the instruction has produced its result."""
+        return self.completion_time is not None
+
+    def describe(self) -> str:
+        """Readable one-line rendering for debugging."""
+        state = "completed" if self.completed else "in-flight"
+        return f"[{self.seq}] {self.instruction.describe()} ({state})"

@@ -1,0 +1,290 @@
+"""Front-end: instruction fetch, branch prediction, and the fetch queue.
+
+The front end owns the (resizable) instruction cache, the jointly sized
+hybrid branch predictor, a small BTB and the fetch queue.  It is trace
+driven: instructions come from the workload generator in committed program
+order, so there is no wrong-path fetch; a mispredicted branch instead stalls
+fetch until the processor reports that the branch has resolved and the
+configured misprediction penalty has elapsed (the standard trace-driven
+modelling of branch mispredictions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.branch.btb import BranchTargetBuffer
+from repro.branch.hybrid import HybridPredictor, build_predictor
+from repro.caches.accounting import AccountingCache
+from repro.caches.cache import AccessOutcome
+from repro.clocks.time import Picoseconds
+from repro.timing.cacti import CacheGeometry
+from repro.isa.instruction import Instruction
+from repro.pipeline.dyninst import DynInst
+from repro.timing.tables import ICacheConfig
+
+
+@dataclass(slots=True)
+class FrontEndStats:
+    """Aggregate front-end counters."""
+
+    fetched: int = 0
+    icache_accesses: int = 0
+    icache_b_hits: int = 0
+    icache_misses: int = 0
+    branches: int = 0
+    mispredictions: int = 0
+    btb_misses: int = 0
+    fetch_stall_cycles: int = 0
+    branch_stall_cycles: int = 0
+
+
+class FetchQueue:
+    """Fixed-capacity queue between fetch and dispatch."""
+
+    def __init__(self, capacity: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("fetch queue capacity must be positive")
+        self._capacity = capacity
+        self._entries: deque[DynInst] = deque()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of buffered instructions."""
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Number of buffered instructions."""
+        return len(self._entries)
+
+    @property
+    def has_space(self) -> bool:
+        """True when fetch may insert another instruction."""
+        return len(self._entries) < self._capacity
+
+    def push(self, inst: DynInst) -> None:
+        """Append a fetched instruction."""
+        if not self.has_space:
+            raise RuntimeError("fetch queue overflow")
+        self._entries.append(inst)
+
+    def peek(self) -> DynInst | None:
+        """Oldest buffered instruction, or ``None``."""
+        return self._entries[0] if self._entries else None
+
+    def pop(self) -> DynInst:
+        """Remove and return the oldest buffered instruction."""
+        return self._entries.popleft()
+
+    def clear(self) -> None:
+        """Drop the buffer contents."""
+        self._entries.clear()
+
+
+class FrontEnd:
+    """Fetch engine for one run.
+
+    Parameters
+    ----------
+    trace:
+        Iterator of :class:`~repro.isa.instruction.Instruction` in program
+        order.
+    icache_config:
+        The active I-cache / branch-predictor configuration.
+    fetch_width:
+        Maximum instructions fetched per front-end cycle.
+    fetch_queue_capacity:
+        Depth of the fetch queue (Table 5: 16 entries).
+    decode_cycles:
+        Front-end cycles between fetch and dispatch eligibility.
+    use_b_partition:
+        Whether the I-cache B partition is accessible.
+    icache_miss_handler:
+        Callback ``(block_address, now_ps) -> ready_ps`` used to service
+        I-cache misses from the unified L2 across the domain boundary.
+    """
+
+    def __init__(
+        self,
+        trace: Iterator[Instruction],
+        *,
+        icache_config: ICacheConfig,
+        physical_geometry: CacheGeometry | None = None,
+        fetch_width: int = 8,
+        fetch_queue_capacity: int = 16,
+        decode_cycles: int = 2,
+        use_b_partition: bool = True,
+        icache_miss_handler: Callable[[int, Picoseconds], Picoseconds] | None = None,
+    ) -> None:
+        self._trace = trace
+        self._pending: Instruction | None = None
+        self._exhausted = False
+        self.fetch_width = fetch_width
+        self.decode_cycles = decode_cycles
+        self.fetch_queue = FetchQueue(fetch_queue_capacity)
+        self.stats = FrontEndStats()
+
+        # The physical array is the maximum (resizable) organisation; the
+        # active configuration selects how many ways form the A partition.
+        # For non-resizable (synchronous) machines the physical array is the
+        # configuration itself.
+        self.icache_config = icache_config
+        self.icache = AccountingCache(
+            physical_geometry if physical_geometry is not None else icache_config.icache,
+            a_ways=icache_config.ways,
+            b_enabled=use_b_partition and icache_config.l1_latency[1] is not None,
+            name="L1I",
+        )
+        self.predictor: HybridPredictor = build_predictor(icache_config.predictor)
+        self.btb = BranchTargetBuffer()
+        self._icache_miss_handler = icache_miss_handler
+
+        self._stall_until: Picoseconds = 0
+        self._waiting_branch: DynInst | None = None
+        self._last_block: int | None = None
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def trace_exhausted(self) -> bool:
+        """True once the trace iterator has been fully consumed."""
+        return self._exhausted and self._pending is None
+
+    @property
+    def waiting_for_branch(self) -> DynInst | None:
+        """The unresolved mispredicted branch fetch is stalled on, if any."""
+        return self._waiting_branch
+
+    def apply_icache_config(self, config: ICacheConfig, *, use_b_partition: bool) -> None:
+        """Repartition the I-cache for *config* (contents are preserved)."""
+        self.icache_config = config
+        self.icache.set_a_ways(config.ways)
+        self.icache.set_b_enabled(use_b_partition and config.l1_latency[1] is not None)
+
+    def resume_after_branch(self, branch: DynInst, redirect_time: Picoseconds) -> None:
+        """Called by the processor when a mispredicted branch resolves."""
+        if self._waiting_branch is branch:
+            self._waiting_branch = None
+            self._stall_until = max(self._stall_until, redirect_time)
+            self._last_block = None
+
+    def take_instruction(self) -> Instruction | None:
+        """Consume and return the next trace instruction (used for warm-up)."""
+        return self._next_instruction()
+
+    def warm(self, instruction: Instruction) -> None:
+        """Warm the I-cache and branch predictor without timing effects."""
+        block = instruction.pc // self.icache.geometry.block_bytes
+        if block != self._last_block:
+            self.icache.access(instruction.pc)
+            self._last_block = block
+        if instruction.is_branch:
+            self.predictor.predict_and_update(instruction.pc, instruction.taken)
+            if instruction.taken:
+                self.btb.update(instruction.pc, instruction.target or 0)
+
+    def reset_warm_state(self) -> None:
+        """Clear warmup bookkeeping and statistics before a measured run."""
+        self._last_block = None
+        self.icache.reset_interval()
+        self.icache.stats.accesses = 0
+        self.icache.stats.hits = 0
+        self.icache.stats.misses = 0
+        self.icache.stats.b_hits = 0
+        self.stats = FrontEndStats()
+        self.predictor.stats.predictions = 0
+        self.predictor.stats.mispredictions = 0
+
+    # ------------------------------------------------------------ fetch step
+
+    def _next_instruction(self) -> Instruction | None:
+        if self._pending is not None:
+            inst = self._pending
+            self._pending = None
+            return inst
+        if self._exhausted:
+            return None
+        try:
+            return next(self._trace)
+        except StopIteration:
+            self._exhausted = True
+            return None
+
+    def _push_back(self, instruction: Instruction) -> None:
+        self._pending = instruction
+
+    def fetch_cycle(self, now: Picoseconds, period_ps: Picoseconds) -> list[DynInst]:
+        """Fetch up to ``fetch_width`` instructions at front-end edge *now*."""
+        if self._waiting_branch is not None:
+            self.stats.branch_stall_cycles += 1
+            return []
+        if now < self._stall_until:
+            self.stats.fetch_stall_cycles += 1
+            return []
+
+        fetched: list[DynInst] = []
+        block_bytes = self.icache.geometry.block_bytes
+        extra_decode_delay = 0
+        for _ in range(self.fetch_width):
+            if not self.fetch_queue.has_space:
+                break
+            instruction = self._next_instruction()
+            if instruction is None:
+                break
+
+            block = instruction.pc // block_bytes
+            if block != self._last_block:
+                outcome = self.icache.access(instruction.pc)
+                self.stats.icache_accesses += 1
+                self._last_block = block
+                if outcome is AccessOutcome.HIT_B:
+                    # The fetch pipeline keeps running; instructions from this
+                    # block simply become available to dispatch B-latency
+                    # cycles later.
+                    self.stats.icache_b_hits += 1
+                    extra_decode_delay = (self.icache_config.l1_latency[1] or 0) * period_ps
+                if outcome is AccessOutcome.MISS:
+                    self.stats.icache_misses += 1
+                    if self._icache_miss_handler is not None:
+                        ready = self._icache_miss_handler(instruction.pc, now)
+                    else:
+                        ready = now + 20 * period_ps
+                    self._stall_until = max(ready, now + period_ps)
+                    self._push_back(instruction)
+                    break
+
+            dyninst = DynInst(instruction=instruction)
+            dyninst.fetch_time = now
+            dyninst.dispatch_ready_time = (
+                now + self.decode_cycles * period_ps + extra_decode_delay
+            )
+            self.fetch_queue.push(dyninst)
+            fetched.append(dyninst)
+            self.stats.fetched += 1
+
+            if instruction.is_branch:
+                self.stats.branches += 1
+                correct = self.predictor.predict_and_update(
+                    instruction.pc, instruction.taken
+                )
+                predicted_target = self.btb.lookup(instruction.pc)
+                if instruction.taken:
+                    self.btb.update(instruction.pc, instruction.target or 0)
+                if not correct:
+                    dyninst.mispredicted = True
+                    self.stats.mispredictions += 1
+                    self._waiting_branch = dyninst
+                    break
+                if instruction.taken:
+                    if predicted_target is None:
+                        # Correctly predicted direction but unknown target:
+                        # one fetch bubble while the target is computed.
+                        self.stats.btb_misses += 1
+                        self._stall_until = now + period_ps
+                    # Cannot fetch past a taken branch in the same cycle.
+                    self._last_block = None
+                    break
+        return fetched

@@ -1,0 +1,115 @@
+"""Resizable out-of-order issue queue.
+
+The queue holds dispatched instructions until their source operands are ready
+and a functional unit is available, then issues them oldest-first.  Capacity
+is one of 16/32/48/64 entries and can be changed at run time by the queue
+controller; shrinking never discards occupants — the new bound only applies
+to subsequent dispatches, which models draining the tail of a real resizable
+queue.
+"""
+
+from __future__ import annotations
+
+from repro.clocks.time import Picoseconds
+from repro.pipeline.dyninst import DynInst
+
+
+class IssueQueue:
+    """One domain's issue queue."""
+
+    def __init__(self, capacity: int, *, name: str = "issue-queue") -> None:
+        if capacity < 1:
+            raise ValueError("issue queue capacity must be positive")
+        self.name = name
+        self._capacity = capacity
+        self._entries: list[DynInst] = []
+        # Instructions dispatched but not yet past the synchronisation
+        # boundary into this domain, keyed by their arrival time.
+        self._incoming: list[DynInst] = []
+        self.total_issued = 0
+        self.occupancy_samples = 0
+        self.occupancy_accumulator = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def capacity(self) -> int:
+        """Current configured capacity."""
+        return self._capacity
+
+    @property
+    def occupancy(self) -> int:
+        """Number of instructions currently holding queue slots."""
+        return len(self._entries) + len(self._incoming)
+
+    @property
+    def has_space(self) -> bool:
+        """True if a new instruction may be dispatched into the queue."""
+        return self.occupancy < self._capacity
+
+    def set_capacity(self, capacity: int) -> None:
+        """Resize the queue; occupants above the new bound drain naturally."""
+        if capacity < 1:
+            raise ValueError("issue queue capacity must be positive")
+        self._capacity = capacity
+
+    def dispatch(self, inst: DynInst, arrival_time: Picoseconds) -> None:
+        """Accept a dispatched instruction that arrives at *arrival_time*."""
+        if not self.has_space:
+            raise RuntimeError(f"{self.name}: dispatch into a full queue")
+        inst.queue_arrival_time = arrival_time
+        self._incoming.append(inst)
+
+    def admit_arrivals(self, now: Picoseconds) -> None:
+        """Move instructions whose synchronised arrival time has passed."""
+        if not self._incoming:
+            return
+        still_waiting: list[DynInst] = []
+        for inst in self._incoming:
+            if inst.queue_arrival_time is not None and inst.queue_arrival_time <= now:
+                self._entries.append(inst)
+            else:
+                still_waiting.append(inst)
+        self._incoming = still_waiting
+
+    def ready_entries(self, now: Picoseconds, operand_ready) -> list[DynInst]:
+        """Return queue entries whose operands are ready, oldest first.
+
+        ``operand_ready(inst, now)`` is supplied by the processor and applies
+        cross-domain synchronisation to producer completion times.
+        """
+        ready = [inst for inst in self._entries if operand_ready(inst, now)]
+        ready.sort(key=lambda inst: inst.seq)
+        return ready
+
+    def remove(self, inst: DynInst) -> None:
+        """Remove an issued instruction from the queue."""
+        self._entries.remove(inst)
+        self.total_issued += 1
+
+    def squash(self, predicate) -> int:
+        """Drop every entry for which *predicate* holds; return the count."""
+        before = self.occupancy
+        self._entries = [inst for inst in self._entries if not predicate(inst)]
+        self._incoming = [inst for inst in self._incoming if not predicate(inst)]
+        return before - self.occupancy
+
+    def sample_occupancy(self) -> None:
+        """Record the current occupancy for average-occupancy statistics."""
+        self.occupancy_samples += 1
+        self.occupancy_accumulator += self.occupancy
+
+    @property
+    def average_occupancy(self) -> float:
+        """Mean occupancy across all sampled cycles."""
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_accumulator / self.occupancy_samples
+
+    def reset(self) -> None:
+        """Empty the queue (used between runs)."""
+        self._entries.clear()
+        self._incoming.clear()
+        self.total_issued = 0
+        self.occupancy_samples = 0
+        self.occupancy_accumulator = 0

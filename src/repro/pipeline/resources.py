@@ -1,0 +1,110 @@
+"""Execution resources: functional-unit pools and physical register files."""
+
+from __future__ import annotations
+
+from repro.clocks.time import Picoseconds
+from repro.isa.opcodes import OpClass
+
+
+class FunctionalUnitPool:
+    """A pool of functional units within one execution domain.
+
+    The pool distinguishes fully pipelined units (ALUs: a unit is busy for
+    one issue slot per cycle regardless of operation latency) from
+    unpipelined units (multiply/divide/sqrt: busy for the whole operation).
+
+    Parameters
+    ----------
+    alus:
+        Number of pipelined ALUs.
+    complex_units:
+        Number of unpipelined multiply/divide units.
+    complex_ops:
+        The operation classes routed to the complex units.
+    """
+
+    def __init__(
+        self,
+        *,
+        alus: int,
+        complex_units: int,
+        complex_ops: frozenset[OpClass],
+    ) -> None:
+        if alus < 1 or complex_units < 0:
+            raise ValueError("invalid functional unit counts")
+        self._alus = alus
+        self._complex_units = complex_units
+        self._complex_ops = complex_ops
+        self._alu_slots_used = 0
+        self._current_cycle_time: Picoseconds = -1
+        self._complex_busy_until: list[Picoseconds] = [0] * complex_units
+
+    def begin_cycle(self, now: Picoseconds) -> None:
+        """Reset per-cycle issue-slot accounting."""
+        self._current_cycle_time = now
+        self._alu_slots_used = 0
+
+    def try_reserve(self, op: OpClass, now: Picoseconds, latency_ps: Picoseconds) -> bool:
+        """Reserve a unit for *op* this cycle; return False if none is free."""
+        if op in self._complex_ops:
+            for index, busy_until in enumerate(self._complex_busy_until):
+                if busy_until <= now:
+                    self._complex_busy_until[index] = now + latency_ps
+                    return True
+            return False
+        if self._alu_slots_used >= self._alus:
+            return False
+        self._alu_slots_used += 1
+        return True
+
+    def reset(self) -> None:
+        """Release every unit (used between runs)."""
+        self._alu_slots_used = 0
+        self._complex_busy_until = [0] * self._complex_units
+
+
+class PhysicalRegisterFile:
+    """Occupancy model of one physical register file.
+
+    Registers are allocated at dispatch and freed at commit.  Only the count
+    matters for timing, so the model is a simple counter with the logical
+    registers permanently resident (as in the paper's 96-entry files backing
+    32 logical registers).
+    """
+
+    def __init__(self, total: int, logical: int = 32) -> None:
+        if total <= logical:
+            raise ValueError("physical register file must exceed the logical count")
+        self._total = total
+        self._logical = logical
+        self._allocated = logical
+
+    @property
+    def total(self) -> int:
+        """Total number of physical registers."""
+        return self._total
+
+    @property
+    def free(self) -> int:
+        """Number of registers currently available for renaming."""
+        return self._total - self._allocated
+
+    def can_allocate(self, count: int = 1) -> bool:
+        """True if *count* registers can be allocated."""
+        return self.free >= count
+
+    def allocate(self, count: int = 1) -> None:
+        """Allocate *count* registers (dispatch)."""
+        if not self.can_allocate(count):
+            raise RuntimeError("physical register file overflow")
+        self._allocated += count
+
+    def release(self, count: int = 1) -> None:
+        """Release *count* registers (commit)."""
+        self._allocated -= count
+        if self._allocated < self._logical:
+            raise RuntimeError("physical register file underflow")
+
+    def reset(self) -> None:
+        """Return to the initial state with only logical registers mapped."""
+        self._allocated = self._logical

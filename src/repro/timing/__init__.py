@@ -1,0 +1,61 @@
+"""Circuit-timing models for the resizable structures.
+
+Two analytic models are provided:
+
+* :mod:`repro.timing.cacti` — a simplified CACTI-style cache access-time
+  model (decode, array, way select, routing, output driver).
+* :mod:`repro.timing.palacharla` — a Palacharla-style issue-queue wakeup +
+  selection delay model with a log4 selection tree.
+
+The authoritative per-configuration frequencies used by the simulator live in
+:mod:`repro.timing.tables`.  They are calibrated to the relationships the
+paper publishes in Figures 2–4 (≈5 % adaptive-vs-optimal D-cache gap, ≈31 %
+direct-mapped to 2-way I-cache drop, 27 % faster optimal 64 KB I-cache,
+selection-logic step between 16- and 32-entry issue queues).  The analytic
+models are used for validation, extrapolation and the ablation studies.
+"""
+
+from repro.timing.cacti import CacheGeometry, cache_access_time_ns
+from repro.timing.palacharla import (
+    issue_queue_delay_ns,
+    issue_queue_frequency_ghz,
+    selection_levels,
+)
+from repro.timing.tables import (
+    ADAPTIVE_DCACHE_CONFIGS,
+    ADAPTIVE_ICACHE_CONFIGS,
+    ISSUE_QUEUE_SIZES,
+    ISSUE_QUEUE_FREQUENCY_GHZ,
+    ISSUE_QUEUE_FREQUENCY_CURVE,
+    OPTIMAL_DCACHE_CONFIGS,
+    OPTIMIZED_ICACHE_CONFIGS,
+    DCacheL2Config,
+    ICacheConfig,
+    adaptive_dcache_config,
+    adaptive_icache_config,
+    optimal_dcache_config,
+    optimized_icache_config,
+    issue_queue_frequency,
+)
+
+__all__ = [
+    "CacheGeometry",
+    "cache_access_time_ns",
+    "issue_queue_delay_ns",
+    "issue_queue_frequency_ghz",
+    "selection_levels",
+    "DCacheL2Config",
+    "ICacheConfig",
+    "ADAPTIVE_DCACHE_CONFIGS",
+    "OPTIMAL_DCACHE_CONFIGS",
+    "ADAPTIVE_ICACHE_CONFIGS",
+    "OPTIMIZED_ICACHE_CONFIGS",
+    "ISSUE_QUEUE_SIZES",
+    "ISSUE_QUEUE_FREQUENCY_GHZ",
+    "ISSUE_QUEUE_FREQUENCY_CURVE",
+    "adaptive_dcache_config",
+    "optimal_dcache_config",
+    "adaptive_icache_config",
+    "optimized_icache_config",
+    "issue_queue_frequency",
+]

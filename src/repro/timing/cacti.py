@@ -1,0 +1,130 @@
+"""Simplified CACTI-style cache access-time model.
+
+The paper derives per-configuration frequencies from CACTI 3.1.  This module
+provides an analytic stand-in with the same structure: the access time is the
+sum of a decoder term (logarithmic in the number of rows addressed within a
+sub-bank), an array term (wordline + bitline, growing with sub-bank size), a
+way-selection term (comparator + output multiplexor, growing with
+associativity), a routing term (growing with the number of sub-banks that
+must be reached), and a fixed sense-amp/output-driver term.
+
+Constants below are calibration constants, chosen so the model reproduces the
+qualitative relationships of Figures 2 and 3 of the paper: a direct-mapped
+cache is substantially faster than a set-associative cache of the same
+capacity, growing capacity at fixed associativity costs relatively little,
+and the adaptive organisations (which replicate the minimal-configuration
+sub-bank layout) are a few percent slower than capacity-optimised layouts.
+The exact frequencies consumed by the simulator come from
+:mod:`repro.timing.tables`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+# Calibration constants (nanoseconds unless noted).
+_DECODE_BASE_NS = 0.055
+_DECODE_PER_BIT_NS = 0.018
+_ARRAY_BASE_NS = 0.095
+_ARRAY_PER_SQRT_KB_NS = 0.034
+_WAY_SELECT_BASE_NS = 0.085
+_WAY_SELECT_PER_LEVEL_NS = 0.028
+_WAY_FANOUT_NS = 0.006
+_ROUTING_PER_SQRT_BANK_NS = 0.011
+_OUTPUT_DRIVER_NS = 0.050
+_BLOCK_BYTES = 64
+
+
+@dataclass(frozen=True, slots=True)
+class CacheGeometry:
+    """Physical organisation of one cache configuration.
+
+    Parameters
+    ----------
+    size_kb:
+        Total capacity in kilobytes.
+    associativity:
+        Number of ways.
+    sub_banks:
+        Number of sub-banks the data array is divided into.  For the adaptive
+        organisations of the paper this is the per-way sub-banking of the
+        minimal configuration replicated across ways.
+    block_bytes:
+        Cache line size.
+    """
+
+    size_kb: int
+    associativity: int
+    sub_banks: int
+    block_bytes: int = _BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if self.size_kb <= 0:
+            raise ValueError("size_kb must be positive")
+        if self.associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if self.sub_banks < 1:
+            raise ValueError("sub_banks must be >= 1")
+        if self.block_bytes < 8:
+            raise ValueError("block_bytes must be >= 8")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        sets = (self.size_kb * 1024) // (self.associativity * self.block_bytes)
+        return max(1, sets)
+
+    @property
+    def kb_per_sub_bank(self) -> float:
+        """Data capacity held in each sub-bank."""
+        return self.size_kb / self.sub_banks
+
+
+def _decoder_delay_ns(geometry: CacheGeometry) -> float:
+    rows_per_bank = max(2.0, geometry.num_sets / geometry.sub_banks)
+    return _DECODE_BASE_NS + _DECODE_PER_BIT_NS * math.log2(rows_per_bank)
+
+
+def _array_delay_ns(geometry: CacheGeometry) -> float:
+    return _ARRAY_BASE_NS + _ARRAY_PER_SQRT_KB_NS * math.sqrt(
+        max(geometry.kb_per_sub_bank, 0.25)
+    )
+
+
+def _way_select_delay_ns(geometry: CacheGeometry) -> float:
+    if geometry.associativity == 1:
+        return 0.0
+    levels = math.ceil(math.log2(geometry.associativity))
+    return (
+        _WAY_SELECT_BASE_NS
+        + _WAY_SELECT_PER_LEVEL_NS * levels
+        + _WAY_FANOUT_NS * (geometry.associativity - 1)
+    )
+
+
+def _routing_delay_ns(geometry: CacheGeometry) -> float:
+    return _ROUTING_PER_SQRT_BANK_NS * math.sqrt(geometry.sub_banks)
+
+
+def cache_access_time_ns(geometry: CacheGeometry) -> float:
+    """Estimated access time of *geometry*, in nanoseconds."""
+    return (
+        _decoder_delay_ns(geometry)
+        + _array_delay_ns(geometry)
+        + _way_select_delay_ns(geometry)
+        + _routing_delay_ns(geometry)
+        + _OUTPUT_DRIVER_NS
+    )
+
+
+def cache_frequency_ghz(geometry: CacheGeometry, *, pipeline_stages: int = 2) -> float:
+    """Frequency a domain could run at if *geometry* is on its critical path.
+
+    The structure is pipelined over ``pipeline_stages`` stages (the L1 caches
+    of the paper have a two-cycle latency), so the cycle time is the access
+    time divided by the number of stages plus a latch overhead.
+    """
+    latch_overhead_ns = 0.045
+    cycle_ns = cache_access_time_ns(geometry) / pipeline_stages + latch_overhead_ns
+    return 1.0 / cycle_ns

@@ -1,0 +1,253 @@
+"""Calibrated per-configuration timing tables (Tables 1-3, Figures 2-4).
+
+These tables are the authoritative frequencies and organisations consumed by
+the simulator.  The frequencies are calibrated to reproduce the relationships
+the paper reports:
+
+* Figure 2 — the D-cache / L2 pair loses frequency as associativity grows and
+  the adaptive organisation is ~5 % slower than a capacity-optimised one
+  (except at the minimal configuration where they are identical by
+  construction).
+* Figure 3 — the I-cache / branch-predictor pair shows a ~31 % frequency drop
+  from direct-mapped to 2-way in the adaptive organisation, and the optimal
+  64 KB direct-mapped cache is ~27 % faster than the adaptive 64 KB 4-way.
+* Figure 4 — issue-queue frequency drops sharply between 16 and 20 entries
+  (two vs. three levels of selection logic) and only gently thereafter.
+
+Latencies (in cycles at the configuration's own frequency) follow Table 5 of
+the paper: L1 caches have a 2-cycle A partition and an 8/5/2-cycle B
+partition depending on the A-partition width; the L2 has a 12-cycle A
+partition and a 43/27/12-cycle B partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.timing.cacti import CacheGeometry
+
+# ---------------------------------------------------------------------------
+# Load / store domain: L1-D and L2 resized together by ways (Table 1, Fig. 2)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class DCacheL2Config:
+    """One jointly sized L1-D / L2 configuration.
+
+    ``l1_latency`` and ``l2_latency`` are ``(a_cycles, b_cycles)`` pairs;
+    ``b_cycles`` is ``None`` when the A partition spans the whole cache and
+    there is no B partition.
+    """
+
+    name: str
+    l1: CacheGeometry
+    l2: CacheGeometry
+    frequency_ghz: float
+    l1_latency: tuple[int, int | None]
+    l2_latency: tuple[int, int | None]
+
+    @property
+    def ways(self) -> int:
+        """Associativity of the configuration (L1 and L2 share it)."""
+        return self.l1.associativity
+
+
+def _dl2(name, l1_kb, l2_kb, assoc, l1_banks, l2_banks, freq, l1_lat, l2_lat):
+    return DCacheL2Config(
+        name=name,
+        l1=CacheGeometry(size_kb=l1_kb, associativity=assoc, sub_banks=l1_banks),
+        l2=CacheGeometry(size_kb=l2_kb, associativity=assoc, sub_banks=l2_banks),
+        frequency_ghz=freq,
+        l1_latency=l1_lat,
+        l2_latency=l2_lat,
+    )
+
+
+#: Adaptive (resizable) L1-D / L2 configurations: each additional way is an
+#: identical copy of the minimal way (32 sub-banks per 32 KB L1 way, 8
+#: sub-banks per 256 KB L2 way).  Index 0 is the base (smallest, fastest)
+#: configuration.
+ADAPTIVE_DCACHE_CONFIGS: tuple[DCacheL2Config, ...] = (
+    _dl2("32k1W/256k1W", 32, 256, 1, 32, 8, 1.76, (2, 8), (12, 43)),
+    _dl2("64k2W/512k2W", 64, 512, 2, 64, 16, 1.40, (2, 5), (12, 27)),
+    _dl2("128k4W/1024k4W", 128, 1024, 4, 128, 32, 1.26, (2, 2), (12, 12)),
+    _dl2("256k8W/2048k8W", 256, 2048, 8, 256, 64, 1.13, (2, None), (12, None)),
+)
+
+#: Capacity-optimised (non-resizable) L1-D / L2 configurations used by the
+#: fully synchronous machine; sub-banking follows the "optimal" columns of
+#: Table 1 (32/8/16/4 L1 sub-banks and 8/4/4/4 L2 sub-banks per way).
+OPTIMAL_DCACHE_CONFIGS: tuple[DCacheL2Config, ...] = (
+    _dl2("32k1W/256k1W", 32, 256, 1, 32, 8, 1.76, (2, None), (12, None)),
+    _dl2("64k2W/512k2W", 64, 512, 2, 8, 8, 1.47, (2, None), (12, None)),
+    _dl2("128k4W/1024k4W", 128, 1024, 4, 16, 16, 1.32, (2, None), (12, None)),
+    _dl2("256k8W/2048k8W", 256, 2048, 8, 4, 32, 1.19, (2, None), (12, None)),
+)
+
+
+def adaptive_dcache_config(index_or_name: int | str) -> DCacheL2Config:
+    """Look up an adaptive D-cache/L2 configuration by index or name."""
+    return _lookup(ADAPTIVE_DCACHE_CONFIGS, index_or_name)
+
+
+def optimal_dcache_config(index_or_name: int | str) -> DCacheL2Config:
+    """Look up an optimal D-cache/L2 configuration by index or name."""
+    return _lookup(OPTIMAL_DCACHE_CONFIGS, index_or_name)
+
+
+# ---------------------------------------------------------------------------
+# Front-end domain: I-cache + branch predictor (Tables 2-3, Fig. 3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BranchPredictorGeometry:
+    """Sizing of the hybrid (gshare + local + meta) branch predictor."""
+
+    global_history_bits: int
+    gshare_entries: int
+    meta_entries: int
+    local_history_bits: int
+    local_bht_entries: int
+    local_pht_entries: int
+
+
+@dataclass(frozen=True, slots=True)
+class ICacheConfig:
+    """One jointly sized I-cache / branch-predictor configuration."""
+
+    name: str
+    icache: CacheGeometry
+    predictor: BranchPredictorGeometry
+    frequency_ghz: float
+    l1_latency: tuple[int, int | None]
+
+    @property
+    def size_kb(self) -> int:
+        """I-cache capacity in KB."""
+        return self.icache.size_kb
+
+    @property
+    def ways(self) -> int:
+        """I-cache associativity."""
+        return self.icache.associativity
+
+
+def _icache(name, size_kb, assoc, banks, hg, gshare, meta, hl, lbht, lpht, freq, lat):
+    return ICacheConfig(
+        name=name,
+        icache=CacheGeometry(size_kb=size_kb, associativity=assoc, sub_banks=banks),
+        predictor=BranchPredictorGeometry(
+            global_history_bits=hg,
+            gshare_entries=gshare,
+            meta_entries=meta,
+            local_history_bits=hl,
+            local_bht_entries=lbht,
+            local_pht_entries=lpht,
+        ),
+        frequency_ghz=freq,
+        l1_latency=lat,
+    )
+
+
+#: Adaptive I-cache / branch-predictor configurations (Table 2).  Index 0 is
+#: the base (16 KB direct-mapped) configuration.
+ADAPTIVE_ICACHE_CONFIGS: tuple[ICacheConfig, ...] = (
+    _icache("16k1W", 16, 1, 32, 14, 16384, 16384, 11, 2048, 1024, 1.74, (2, 8)),
+    _icache("32k2W", 32, 2, 32, 15, 32768, 32768, 12, 4096, 1024, 1.20, (2, 5)),
+    _icache("48k3W", 48, 3, 32, 15, 32768, 32768, 12, 4096, 1024, 1.16, (2, 2)),
+    _icache("64k4W", 64, 4, 32, 16, 65536, 65536, 13, 8192, 1024, 1.10, (2, None)),
+)
+
+#: Capacity-optimised I-cache / branch-predictor configurations available to
+#: the fully synchronous design-space sweep (Table 3).
+OPTIMIZED_ICACHE_CONFIGS: tuple[ICacheConfig, ...] = (
+    _icache("4k1W", 4, 1, 2, 12, 4096, 4096, 10, 1024, 512, 1.82, (2, None)),
+    _icache("8k1W", 8, 1, 4, 13, 8192, 8192, 10, 1024, 1024, 1.78, (2, None)),
+    _icache("16k1W", 16, 1, 16, 14, 16384, 16384, 11, 2048, 1024, 1.74, (2, None)),
+    _icache("32k1W", 32, 1, 32, 15, 32768, 32768, 12, 4096, 1024, 1.58, (2, None)),
+    _icache("64k1W", 64, 1, 32, 16, 65536, 65536, 13, 8192, 1024, 1.40, (2, None)),
+    _icache("4k2W", 4, 2, 8, 12, 4096, 4096, 10, 1024, 512, 1.44, (2, None)),
+    _icache("8k2W", 8, 2, 16, 13, 8192, 8192, 10, 1024, 1024, 1.41, (2, None)),
+    _icache("16k2W", 16, 2, 32, 14, 16384, 16384, 11, 2048, 1024, 1.35, (2, None)),
+    _icache("32k2W", 32, 2, 32, 15, 32768, 32768, 12, 4096, 1024, 1.28, (2, None)),
+    _icache("64k2W", 64, 2, 32, 16, 65536, 65536, 13, 8192, 1024, 1.21, (2, None)),
+    _icache("12k3W", 12, 3, 16, 13, 8192, 8192, 10, 1024, 1024, 1.37, (2, None)),
+    _icache("16k4W", 16, 4, 16, 14, 16384, 16384, 11, 2048, 1024, 1.32, (2, None)),
+    _icache("24k3W", 24, 3, 32, 14, 16384, 16384, 11, 2048, 1024, 1.30, (2, None)),
+    _icache("32k4W", 32, 4, 2, 15, 32768, 32768, 12, 4096, 1024, 1.26, (2, None)),
+    _icache("48k3W", 48, 3, 32, 15, 32768, 32768, 12, 4096, 1024, 1.24, (2, None)),
+    _icache("64k4W", 64, 4, 16, 16, 65536, 65536, 13, 8192, 1024, 1.18, (2, None)),
+)
+
+
+def adaptive_icache_config(index_or_name: int | str) -> ICacheConfig:
+    """Look up an adaptive I-cache configuration by index or name."""
+    return _lookup(ADAPTIVE_ICACHE_CONFIGS, index_or_name)
+
+
+def optimized_icache_config(index_or_name: int | str) -> ICacheConfig:
+    """Look up an optimised I-cache configuration by index or name."""
+    return _lookup(OPTIMIZED_ICACHE_CONFIGS, index_or_name)
+
+
+# ---------------------------------------------------------------------------
+# Integer / floating-point domains: issue queues (Fig. 4)
+# ---------------------------------------------------------------------------
+
+#: Issue-queue sizes the machine can be configured with.
+ISSUE_QUEUE_SIZES: tuple[int, ...] = (16, 32, 48, 64)
+
+#: Frequency of the integer / FP domains for each configurable queue size.
+ISSUE_QUEUE_FREQUENCY_GHZ: dict[int, float] = {
+    16: 1.58,
+    32: 1.16,
+    48: 1.11,
+    64: 1.05,
+}
+
+#: Full frequency-vs-size curve (Figure 4), sizes 16..64 in steps of 4.  The
+#: step between 16 and 20 entries reflects the second-to-third level jump in
+#: the log4 selection tree.
+ISSUE_QUEUE_FREQUENCY_CURVE: dict[int, float] = {
+    16: 1.58,
+    20: 1.21,
+    24: 1.20,
+    28: 1.18,
+    32: 1.16,
+    36: 1.15,
+    40: 1.14,
+    44: 1.12,
+    48: 1.11,
+    52: 1.09,
+    56: 1.08,
+    60: 1.06,
+    64: 1.05,
+}
+
+
+def issue_queue_frequency(entries: int) -> float:
+    """Domain frequency (GHz) for an issue queue of *entries* entries."""
+    try:
+        return ISSUE_QUEUE_FREQUENCY_GHZ[entries]
+    except KeyError as exc:
+        raise ValueError(
+            f"unsupported issue queue size {entries}; "
+            f"supported sizes are {ISSUE_QUEUE_SIZES}"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _lookup(table, index_or_name):
+    if isinstance(index_or_name, int):
+        return table[index_or_name]
+    for entry in table:
+        if entry.name == index_or_name:
+            return entry
+    names = ", ".join(entry.name for entry in table)
+    raise KeyError(f"no configuration named {index_or_name!r}; known: {names}")

@@ -1,0 +1,42 @@
+"""Synthetic workload substrate.
+
+The paper evaluates 32 MediaBench, Olden and SPEC2000 applications compiled
+for Alpha and simulated over 100 M-200 M instruction windows.  Neither the
+binaries nor the reference inputs can be shipped or executed here, so each
+application is modelled as a :class:`~repro.workloads.characteristics.WorkloadProfile`
+— a parametric description of the properties that drive the paper's results:
+instruction mix, dependence distances (ILP), instruction footprint and loop
+structure, data footprint and locality, branch predictability, and phase
+behaviour.  A deterministic generator turns a profile into a dynamic
+instruction trace consumed by the timing pipeline.
+
+The per-application parameters in :mod:`repro.workloads.suites` follow the
+paper's own characterisation of each benchmark (e.g. ``adpcm`` as a tiny
+high-ILP kernel, ``em3d``/``mst``/``art`` as memory bound, ``gcc``/``vortex``
+as instruction-footprint bound, ``apsi`` and ``art`` as strongly phased).
+"""
+
+from repro.workloads.characteristics import PhaseSpec, WorkloadProfile
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.suites import (
+    BENCHMARK_SUITES,
+    full_suite,
+    get_workload,
+    mediabench_suite,
+    olden_suite,
+    spec2000_suite,
+    workload_names,
+)
+
+__all__ = [
+    "PhaseSpec",
+    "WorkloadProfile",
+    "SyntheticTraceGenerator",
+    "BENCHMARK_SUITES",
+    "full_suite",
+    "get_workload",
+    "mediabench_suite",
+    "olden_suite",
+    "spec2000_suite",
+    "workload_names",
+]

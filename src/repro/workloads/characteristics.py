@@ -1,0 +1,193 @@
+"""Workload profiles: the parametric stand-in for real benchmark binaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from types import MappingProxyType
+from typing import Any, Mapping
+
+
+#: Profile fields that a phase may override.  Structural fields (code layout,
+#: block size) stay fixed across phases because the static program does not
+#: change at run time.
+PHASE_OVERRIDABLE_FIELDS = frozenset(
+    {
+        "load_fraction",
+        "store_fraction",
+        "fp_fraction",
+        "int_mult_fraction",
+        "fp_mult_fraction",
+        "cond_branch_density",
+        "predictable_branch_fraction",
+        "hard_branch_bias",
+        "data_footprint_kb",
+        "hot_data_kb",
+        "hot_data_fraction",
+        "sequential_fraction",
+        "mean_dependence_distance",
+        "far_dependence_fraction",
+    }
+)
+
+
+@dataclass(frozen=True, slots=True)
+class PhaseSpec:
+    """One program phase: a length and the dynamic parameters it overrides."""
+
+    length: int
+    overrides: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("phase length must be positive")
+        unknown = set(self.overrides) - PHASE_OVERRIDABLE_FIELDS
+        if unknown:
+            raise ValueError(
+                f"phase overrides reference non-overridable fields: {sorted(unknown)}"
+            )
+        object.__setattr__(self, "overrides", MappingProxyType(dict(self.overrides)))
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """Parametric description of one benchmark application.
+
+    Parameters are grouped as follows.
+
+    Instruction mix
+        ``load_fraction`` and ``store_fraction`` are fractions of all
+        instructions; ``fp_fraction`` is the fraction of *compute* (non
+        memory, non branch) instructions that are floating point;
+        ``int_mult_fraction`` / ``fp_mult_fraction`` select long-latency
+        operations within their class; ``cond_branch_density`` adds
+        data-dependent conditional branches inside basic blocks (on top of
+        the loop-closing branch that ends every block).
+
+    Control behaviour
+        ``block_size`` is the number of instructions per basic block;
+        ``predictable_branch_fraction`` is the fraction of static conditional
+        branches with a strong bias, the remainder being data-dependent
+        branches with bias ``hard_branch_bias``.
+
+    Instruction footprint
+        The static program is ``code_footprint_kb`` of code executed as a
+        two-level loop nest: an inner window of ``inner_window_kb``
+        contiguous code repeats ``inner_iterations`` times before the window
+        slides onward (wrapping at the end of the program).  A footprint
+        larger than the instruction cache therefore produces refill misses
+        every time the window moves, while a large ``inner_window_kb``
+        pressures the cache even within a phase.
+
+    Data behaviour
+        Accesses target a hot region of ``hot_data_kb`` with probability
+        ``hot_data_fraction`` and the full ``data_footprint_kb`` otherwise;
+        ``sequential_fraction`` of accesses walk the region sequentially, the
+        rest are uniform random within it.
+
+    Dependences / ILP
+        Each source operand names the value produced
+        ``~Geometric(mean_dependence_distance)`` instructions earlier, except
+        with probability ``far_dependence_fraction`` it names an old,
+        long-ready value.  Long mean distances expose more independent work
+        to larger issue queues.
+
+    Phases
+        ``phases`` cycles through :class:`PhaseSpec` entries, each overriding
+        dynamic parameters for ``length`` instructions.
+
+    ``simulation_window`` is the scaled-down stand-in for the 100 M-200 M
+    instruction windows of Tables 6-8 and is what the benchmark harness uses
+    by default.
+    """
+
+    name: str
+    suite: str
+    description: str = ""
+
+    # Instruction mix.
+    load_fraction: float = 0.24
+    store_fraction: float = 0.10
+    fp_fraction: float = 0.0
+    int_mult_fraction: float = 0.02
+    fp_mult_fraction: float = 0.25
+    cond_branch_density: float = 0.04
+
+    # Control behaviour.
+    block_size: int = 10
+    predictable_branch_fraction: float = 0.92
+    hard_branch_bias: float = 0.55
+
+    # Instruction footprint.
+    code_footprint_kb: float = 8.0
+    inner_window_kb: float = 4.0
+    inner_iterations: int = 40
+
+    # Data behaviour.
+    data_footprint_kb: float = 64.0
+    hot_data_kb: float = 16.0
+    hot_data_fraction: float = 0.95
+    sequential_fraction: float = 0.55
+
+    # Dependences / ILP.
+    mean_dependence_distance: float = 9.0
+    far_dependence_fraction: float = 0.25
+
+    # Phases.
+    phases: tuple[PhaseSpec, ...] = ()
+
+    # Scaled-down stand-in for the paper's simulation window.
+    simulation_window: int = 24_000
+
+    # Provenance: the dataset and simulation window the paper used
+    # (Tables 6-8), recorded for the workload-inventory benchmark.
+    paper_dataset: str = "reference"
+    paper_window: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.load_fraction <= 0.6:
+            raise ValueError("load_fraction out of range")
+        if not 0 <= self.store_fraction <= 0.5:
+            raise ValueError("store_fraction out of range")
+        if self.load_fraction + self.store_fraction + self.cond_branch_density > 0.85:
+            raise ValueError("instruction mix leaves no room for compute operations")
+        if not 0 <= self.fp_fraction <= 1:
+            raise ValueError("fp_fraction out of range")
+        if self.block_size < 2:
+            raise ValueError("block_size must be at least 2")
+        if self.code_footprint_kb <= 0 or self.inner_window_kb <= 0:
+            raise ValueError("code footprint parameters must be positive")
+        if self.inner_window_kb > self.code_footprint_kb:
+            raise ValueError("inner_window_kb cannot exceed code_footprint_kb")
+        if self.data_footprint_kb <= 0 or self.hot_data_kb <= 0:
+            raise ValueError("data footprint parameters must be positive")
+        if self.hot_data_kb > self.data_footprint_kb:
+            raise ValueError("hot_data_kb cannot exceed data_footprint_kb")
+        if self.mean_dependence_distance < 1:
+            raise ValueError("mean_dependence_distance must be >= 1")
+        if self.simulation_window <= 0:
+            raise ValueError("simulation_window must be positive")
+
+    @property
+    def is_floating_point(self) -> bool:
+        """True when a meaningful share of compute operations is FP."""
+        return self.fp_fraction >= 0.15
+
+    @property
+    def has_phases(self) -> bool:
+        """True when the workload defines explicit phase behaviour."""
+        return bool(self.phases)
+
+    def with_overrides(self, **overrides: Any) -> "WorkloadProfile":
+        """Return a copy with *overrides* applied (used by phase handling)."""
+        valid = {f.name for f in fields(self)}
+        unknown = set(overrides) - valid
+        if unknown:
+            raise ValueError(f"unknown profile fields: {sorted(unknown)}")
+        return replace(self, **overrides)
+
+    def scaled(self, factor: float) -> "WorkloadProfile":
+        """Return a copy whose simulation window is scaled by *factor*."""
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        window = max(1_000, int(self.simulation_window * factor))
+        return replace(self, simulation_window=window)

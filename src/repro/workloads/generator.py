@@ -1,0 +1,388 @@
+"""Deterministic synthetic trace generator.
+
+The generator turns a :class:`~repro.workloads.characteristics.WorkloadProfile`
+into an infinite stream of :class:`~repro.isa.instruction.Instruction`
+objects.  The static program is a two-level loop nest over
+``code_footprint_kb`` of code: an inner window of ``inner_window_kb`` repeats
+``inner_iterations`` times before sliding onward, wrapping at the end of the
+program.  Basic blocks end in loop-control branches; additional
+data-dependent conditional branches appear inside blocks with per-static-PC
+biases so the branch predictor sees a stable population of easy and hard
+branches.  Data addresses mix a hot region with a larger cold footprint, and
+register dependences follow a geometric producer-distance distribution that
+sets the workload's exploitable ILP.
+
+Everything is driven by ``random.Random(seed)``, so the same profile and seed
+always produce bit-identical traces.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import OpClass
+from repro.workloads.characteristics import WorkloadProfile
+
+#: Base virtual address of the code segment.
+CODE_BASE = 0x0040_0000
+#: Base virtual address of the data segment.  The hot region starts here and
+#: the cold (full-footprint) region follows it contiguously, so the two do
+#: not alias pathologically onto the same cache sets the way two
+#: power-of-two-aligned regions would.
+HOT_DATA_BASE = 0x1000_0000
+#: Bytes per instruction.
+INSTRUCTION_BYTES = 4
+
+# Registers r0/f0 hold long-ready values ("far" dependences); destinations
+# rotate through a window of scratch registers.  r2 is the loop-carried
+# accumulator (induction variable) that gives every workload a serial chain
+# whose height scales with 1/mean_dependence_distance.
+_FAR_INT_REG = "r1"
+_FAR_FP_REG = "f1"
+_ACCUMULATOR_REG = "r2"
+_INT_DEST_POOL = tuple(f"r{i}" for i in range(8, 28))
+_FP_DEST_POOL = tuple(f"f{i}" for i in range(8, 28))
+
+
+@dataclass(slots=True)
+class _DynamicParams:
+    """The phase-overridable knobs, resolved for the current phase."""
+
+    load_fraction: float
+    store_fraction: float
+    fp_fraction: float
+    int_mult_fraction: float
+    fp_mult_fraction: float
+    cond_branch_density: float
+    predictable_branch_fraction: float
+    hard_branch_bias: float
+    data_footprint_kb: float
+    hot_data_kb: float
+    hot_data_fraction: float
+    sequential_fraction: float
+    mean_dependence_distance: float
+    far_dependence_fraction: float
+
+    @classmethod
+    def from_profile(cls, profile: WorkloadProfile) -> "_DynamicParams":
+        return cls(
+            load_fraction=profile.load_fraction,
+            store_fraction=profile.store_fraction,
+            fp_fraction=profile.fp_fraction,
+            int_mult_fraction=profile.int_mult_fraction,
+            fp_mult_fraction=profile.fp_mult_fraction,
+            cond_branch_density=profile.cond_branch_density,
+            predictable_branch_fraction=profile.predictable_branch_fraction,
+            hard_branch_bias=profile.hard_branch_bias,
+            data_footprint_kb=profile.data_footprint_kb,
+            hot_data_kb=profile.hot_data_kb,
+            hot_data_fraction=profile.hot_data_fraction,
+            sequential_fraction=profile.sequential_fraction,
+            mean_dependence_distance=profile.mean_dependence_distance,
+            far_dependence_fraction=profile.far_dependence_fraction,
+        )
+
+    def apply_overrides(self, overrides) -> None:
+        for key, value in overrides.items():
+            setattr(self, key, value)
+
+
+class SyntheticTraceGenerator:
+    """Generate a deterministic dynamic instruction trace from a profile.
+
+    Parameters
+    ----------
+    profile:
+        The workload description.
+    seed:
+        Seed for the trace's pseudo-random choices.  The static program
+        (branch positions and biases) and the dynamic stream are both
+        functions of ``(profile, seed)``.
+    """
+
+    def __init__(self, profile: WorkloadProfile, *, seed: int = 1234) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._rng = random.Random((seed * 1_000_003) ^ hash(profile.name) & 0xFFFFFFFF)
+
+        # --- static program layout -------------------------------------
+        self._block_size = profile.block_size
+        static_instructions = max(
+            2 * self._block_size, int(profile.code_footprint_kb * 1024 // INSTRUCTION_BYTES)
+        )
+        self._n_blocks = max(2, static_instructions // self._block_size)
+        window_blocks = int(
+            profile.inner_window_kb * 1024 // (INSTRUCTION_BYTES * self._block_size)
+        )
+        self._window_blocks = max(1, min(window_blocks, self._n_blocks))
+
+        # Static conditional branches inside blocks: position -> bias.
+        static_rng = random.Random(seed ^ 0x5EED_BA5E)
+        self._static_branch_bias: dict[int, float] = {}
+        for block in range(self._n_blocks):
+            for offset in range(self._block_size - 1):
+                if static_rng.random() < profile.cond_branch_density:
+                    slot = block * self._block_size + offset
+                    if static_rng.random() < profile.predictable_branch_fraction:
+                        # Strongly biased branches stand in for the correlated,
+                        # easily learned branches of real codes.
+                        bias = static_rng.uniform(0.96, 0.995)
+                        if static_rng.random() < 0.5:
+                            bias = 1.0 - bias
+                    else:
+                        bias = profile.hard_branch_bias
+                    self._static_branch_bias[slot] = bias
+
+        # --- dynamic state ----------------------------------------------
+        self._params = _DynamicParams.from_profile(profile)
+        self._phase_index = 0
+        self._phase_remaining = (
+            profile.phases[0].length if profile.phases else 0
+        )
+        if profile.phases:
+            self._params.apply_overrides(profile.phases[0].overrides)
+
+        self._window_start = 0
+        self._iteration = 0
+        self._block_in_window = 0
+        self._instr_in_block = 0
+
+        self._recent_int_dests: deque[str] = deque(maxlen=96)
+        self._recent_fp_dests: deque[str] = deque(maxlen=96)
+        self._int_dest_cursor = 0
+        self._fp_dest_cursor = 0
+        self._hot_pointer = 0
+        self._cold_pointer = 0
+        self._since_accumulator = 0
+        self._seq = 0
+
+    # ------------------------------------------------------------------ API
+
+    @property
+    def n_static_blocks(self) -> int:
+        """Number of basic blocks in the static program."""
+        return self._n_blocks
+
+    @property
+    def window_blocks(self) -> int:
+        """Number of blocks in the inner loop window."""
+        return self._window_blocks
+
+    @property
+    def current_phase_index(self) -> int:
+        """Index of the phase currently generating instructions."""
+        return self._phase_index
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return self.instructions()
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Yield dynamic instructions forever."""
+        while True:
+            yield self._next_instruction()
+
+    def generate(self, count: int) -> list[Instruction]:
+        """Return the next *count* dynamic instructions as a list."""
+        return [self._next_instruction() for _ in range(count)]
+
+    # ----------------------------------------------------------- internals
+
+    def _next_instruction(self) -> Instruction:
+        self._advance_phase_if_needed()
+        block = (self._window_start + self._block_in_window) % self._n_blocks
+        slot = block * self._block_size + self._instr_in_block
+        pc = CODE_BASE + slot * INSTRUCTION_BYTES
+
+        if self._instr_in_block == self._block_size - 1:
+            instruction = self._emit_block_end_branch(pc, block)
+        else:
+            bias = self._static_branch_bias.get(slot)
+            if bias is not None:
+                instruction = self._emit_conditional_branch(pc, block, bias)
+            else:
+                instruction = self._emit_regular(pc)
+                self._instr_in_block += 1
+
+        instruction.seq = self._seq
+        self._seq += 1
+        if self.profile.phases:
+            self._phase_remaining -= 1
+        return instruction
+
+    def _advance_phase_if_needed(self) -> None:
+        if not self.profile.phases or self._phase_remaining > 0:
+            return
+        self._phase_index = (self._phase_index + 1) % len(self.profile.phases)
+        phase = self.profile.phases[self._phase_index]
+        self._phase_remaining = phase.length
+        self._params = _DynamicParams.from_profile(self.profile)
+        self._params.apply_overrides(phase.overrides)
+
+    # --- control flow --------------------------------------------------
+
+    def _block_start_pc(self, block: int) -> int:
+        return CODE_BASE + (block % self._n_blocks) * self._block_size * INSTRUCTION_BYTES
+
+    def _emit_block_end_branch(self, pc: int, block: int) -> Instruction:
+        last_in_window = self._block_in_window == self._window_blocks - 1
+        if last_in_window:
+            if self._iteration < self.profile.inner_iterations - 1:
+                # Loop back to the start of the window.
+                self._iteration += 1
+                self._block_in_window = 0
+                next_block = self._window_start
+            else:
+                # Slide the window onward (wrapping at the end of the code).
+                self._iteration = 0
+                self._block_in_window = 0
+                self._window_start = (
+                    self._window_start + self._window_blocks
+                ) % self._n_blocks
+                next_block = self._window_start
+        else:
+            self._block_in_window += 1
+            next_block = (self._window_start + self._block_in_window) % self._n_blocks
+        self._instr_in_block = 0
+
+        fallthrough_block = (block + 1) % self._n_blocks
+        taken = next_block != fallthrough_block
+        target = self._block_start_pc(next_block)
+        return Instruction(
+            pc=pc,
+            op=OpClass.BRANCH,
+            sources=(self._pick_source(fp=False),),
+            is_branch=True,
+            taken=taken,
+            target=target,
+        )
+
+    def _emit_conditional_branch(self, pc: int, block: int, bias: float) -> Instruction:
+        taken = self._rng.random() < bias
+        # A taken in-block branch skips ahead to the block-closing branch.
+        target_slot = block * self._block_size + self._block_size - 1
+        target = CODE_BASE + target_slot * INSTRUCTION_BYTES
+        if taken:
+            self._instr_in_block = self._block_size - 1
+        else:
+            self._instr_in_block += 1
+        return Instruction(
+            pc=pc,
+            op=OpClass.BRANCH,
+            sources=(self._pick_source(fp=False),),
+            is_branch=True,
+            taken=taken,
+            target=target,
+        )
+
+    # --- regular instructions -------------------------------------------
+
+    def _emit_regular(self, pc: int) -> Instruction:
+        params = self._params
+        # A loop-carried accumulator update (induction variable) every
+        # ~mean_dependence_distance instructions: the serial chain that caps
+        # the workload's exploitable ILP at that distance, independent of the
+        # window size an observer measures it over.
+        self._since_accumulator += 1
+        if self._since_accumulator >= params.mean_dependence_distance:
+            self._since_accumulator = 0
+            return Instruction(
+                pc=pc,
+                op=OpClass.INT_ALU,
+                sources=(_ACCUMULATOR_REG,),
+                dest=_ACCUMULATOR_REG,
+            )
+        roll = self._rng.random()
+        if roll < params.load_fraction:
+            return self._emit_load(pc)
+        if roll < params.load_fraction + params.store_fraction:
+            return self._emit_store(pc)
+        return self._emit_compute(pc)
+
+    def _emit_load(self, pc: int) -> Instruction:
+        params = self._params
+        fp_dest = self._rng.random() < params.fp_fraction
+        dest = self._allocate_dest(fp=fp_dest)
+        return Instruction(
+            pc=pc,
+            op=OpClass.LOAD,
+            sources=(self._pick_source(fp=False),),
+            dest=dest,
+            address=self._data_address(),
+        )
+
+    def _emit_store(self, pc: int) -> Instruction:
+        params = self._params
+        fp_data = self._rng.random() < params.fp_fraction
+        return Instruction(
+            pc=pc,
+            op=OpClass.STORE,
+            sources=(self._pick_source(fp=fp_data), self._pick_source(fp=False)),
+            address=self._data_address(),
+        )
+
+    def _emit_compute(self, pc: int) -> Instruction:
+        params = self._params
+        if self._rng.random() < params.fp_fraction:
+            if self._rng.random() < params.fp_mult_fraction:
+                op = OpClass.FP_MULT if self._rng.random() > 0.08 else OpClass.FP_DIV
+            else:
+                op = OpClass.FP_ALU
+            sources = (self._pick_source(fp=True), self._pick_source(fp=True))
+            dest = self._allocate_dest(fp=True)
+        else:
+            if self._rng.random() < params.int_mult_fraction:
+                op = OpClass.INT_MULT if self._rng.random() > 0.1 else OpClass.INT_DIV
+            else:
+                op = OpClass.INT_ALU
+            sources = (self._pick_source(fp=False), self._pick_source(fp=False))
+            dest = self._allocate_dest(fp=False)
+        return Instruction(pc=pc, op=op, sources=sources, dest=dest)
+
+    # --- operands --------------------------------------------------------
+
+    def _allocate_dest(self, *, fp: bool) -> str:
+        if fp:
+            register = _FP_DEST_POOL[self._fp_dest_cursor % len(_FP_DEST_POOL)]
+            self._fp_dest_cursor += 1
+            self._recent_fp_dests.append(register)
+        else:
+            register = _INT_DEST_POOL[self._int_dest_cursor % len(_INT_DEST_POOL)]
+            self._int_dest_cursor += 1
+            self._recent_int_dests.append(register)
+        return register
+
+    def _pick_source(self, *, fp: bool) -> str:
+        params = self._params
+        recents = self._recent_fp_dests if fp else self._recent_int_dests
+        far_register = _FAR_FP_REG if fp else _FAR_INT_REG
+        if not recents or self._rng.random() < params.far_dependence_fraction:
+            return far_register
+        mean = params.mean_dependence_distance
+        distance = 1 + int(self._rng.expovariate(1.0 / mean))
+        if distance > len(recents):
+            return far_register
+        return recents[-distance]
+
+    def _data_address(self) -> int:
+        params = self._params
+        hot_bytes = int(params.hot_data_kb * 1024)
+        if self._rng.random() < params.hot_data_fraction:
+            if self._rng.random() < params.sequential_fraction:
+                self._hot_pointer = (self._hot_pointer + 8) % hot_bytes
+                offset = self._hot_pointer
+            else:
+                offset = self._rng.randrange(0, max(8, hot_bytes), 8)
+            return HOT_DATA_BASE + offset
+        # The cold region covers the remainder of the data footprint and is
+        # laid out directly after the hot region.
+        cold_bytes = max(64, int(params.data_footprint_kb * 1024) - hot_bytes)
+        if self._rng.random() < params.sequential_fraction:
+            self._cold_pointer = (self._cold_pointer + 64) % cold_bytes
+            offset = self._cold_pointer
+        else:
+            offset = self._rng.randrange(0, max(8, cold_bytes), 8)
+        return HOT_DATA_BASE + hot_bytes + offset

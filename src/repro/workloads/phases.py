@@ -1,0 +1,118 @@
+"""Helpers for building phased workload profiles.
+
+Two kinds of phase behaviour matter in the paper's evaluation (Figure 7):
+
+* ``apsi`` shows strong periodic phases in its *data-cache capacity* needs —
+  the D/L2 pair oscillates mostly between the 32 KB/256 KB 1-way and the
+  128 KB/1 MB 4-way configurations.
+* ``art`` cycles its *integer issue queue* through all four sizes in a
+  regular pattern that follows the available ILP.
+
+The helpers below build the corresponding :class:`PhaseSpec` sequences; they
+are also reusable for user-defined phased workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.workloads.characteristics import PhaseSpec
+
+
+def periodic_data_phases(
+    *,
+    small_kb: float = 24.0,
+    large_kb: float = 640.0,
+    footprint_kb: float = 1024.0,
+    phase_length: int = 8_000,
+    hot_fraction_small: float = 0.95,
+    hot_fraction_large: float = 0.85,
+) -> tuple[PhaseSpec, ...]:
+    """Alternate between a cache-friendly phase and a capacity-hungry phase.
+
+    The small phase keeps its hot data well inside the minimal 32 KB L1 so
+    the controller favours the fastest configuration; the large phase touches
+    ``large_kb`` of hot data so upsizing the D/L2 pair pays for the frequency
+    loss.
+    """
+    small = PhaseSpec(
+        length=phase_length,
+        overrides={
+            "hot_data_kb": small_kb,
+            "hot_data_fraction": hot_fraction_small,
+            "data_footprint_kb": footprint_kb,
+            "sequential_fraction": 0.6,
+        },
+    )
+    large = PhaseSpec(
+        length=phase_length,
+        overrides={
+            "hot_data_kb": large_kb,
+            "hot_data_fraction": hot_fraction_large,
+            "data_footprint_kb": footprint_kb,
+            "sequential_fraction": 0.35,
+        },
+    )
+    return (small, large)
+
+
+def periodic_ilp_phases(
+    *,
+    dependence_distances: Sequence[float] = (4.0, 12.0, 25.0, 45.0),
+    phase_length: int = 8_000,
+    far_fraction: float = 0.2,
+) -> tuple[PhaseSpec, ...]:
+    """Cycle the mean dependence distance through *dependence_distances*.
+
+    Short distances serialise execution (a 16-entry queue is plenty); long
+    distances expose independent work that only a deeper queue can hold, so
+    the ILP-tracking controller walks the queue through its sizes, as art
+    does in Figure 7(b).
+    """
+    phases = []
+    for distance in dependence_distances:
+        phases.append(
+            PhaseSpec(
+                length=phase_length,
+                overrides={
+                    "mean_dependence_distance": float(distance),
+                    "far_dependence_fraction": far_fraction,
+                },
+            )
+        )
+    return tuple(phases)
+
+
+def bursty_conflict_phases(
+    *,
+    quiet_kb: float = 24.0,
+    burst_kb: float = 96.0,
+    quiet_length: int = 12_000,
+    burst_length: int = 2_500,
+    footprint_kb: float = 1_200.0,
+) -> tuple[PhaseSpec, ...]:
+    """Short bursts of conflict misses between long quiet periods (mst-like).
+
+    The burst is short relative to the controller's adaptation interval, so a
+    phase-adaptive controller reacts one interval late and flips back
+    afterwards — the behaviour the paper describes for ``mst``.
+    """
+    quiet = PhaseSpec(
+        length=quiet_length,
+        overrides={
+            "hot_data_kb": quiet_kb,
+            "hot_data_fraction": 0.9,
+            "data_footprint_kb": footprint_kb,
+            "sequential_fraction": 0.45,
+        },
+    )
+    burst = PhaseSpec(
+        length=burst_length,
+        overrides={
+            "hot_data_kb": burst_kb,
+            "hot_data_fraction": 0.75,
+            "data_footprint_kb": footprint_kb,
+            "sequential_fraction": 0.2,
+        },
+    )
+    return (quiet, burst)

@@ -1,0 +1,638 @@
+"""The 32-application benchmark suite (Tables 6-8 of the paper).
+
+Each entry is a :class:`WorkloadProfile` whose parameters encode the paper's
+characterisation of that application.  The parameters were chosen so that the
+population statistics line up with the paper's findings (Table 9): roughly
+half of the applications are happiest with the smallest/fastest
+configurations, a substantial minority needs a larger instruction cache
+(gsm, ghostscript, gcc, vortex, crafty), a handful is strongly memory bound
+(em3d, mst, health, art), and a few have pronounced phase behaviour (apsi's
+data-capacity phases, art's ILP phases).
+
+``paper_dataset`` and ``paper_window`` record the inputs and simulation
+windows of Tables 6-8 verbatim; ``simulation_window`` is the scaled-down
+window actually simulated by the Python pipeline (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.phases import (
+    bursty_conflict_phases,
+    periodic_data_phases,
+    periodic_ilp_phases,
+)
+
+MEDIABENCH = "MediaBench"
+OLDEN = "Olden"
+SPEC_INT = "SPEC2000-Int"
+SPEC_FP = "SPEC2000-FP"
+
+
+def _w(name: str, suite: str, **kwargs) -> WorkloadProfile:
+    return WorkloadProfile(name=name, suite=suite, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# MediaBench (Table 6)
+# ---------------------------------------------------------------------------
+
+_MEDIABENCH = (
+    _w(
+        "adpcm_encode",
+        MEDIABENCH,
+        description="Tiny speech-coding kernel; small code and data, high clock wins.",
+        code_footprint_kb=2.0,
+        inner_window_kb=1.0,
+        data_footprint_kb=16.0,
+        hot_data_kb=4.0,
+        mean_dependence_distance=10.0,
+        cond_branch_density=0.06,
+        predictable_branch_fraction=0.90,
+        paper_window="encode (6.6M)",
+    ),
+    _w(
+        "adpcm_decode",
+        MEDIABENCH,
+        description="Decoder kernel with data-dependent branches (vpdiff chain).",
+        code_footprint_kb=2.0,
+        inner_window_kb=1.0,
+        data_footprint_kb=16.0,
+        hot_data_kb=4.0,
+        mean_dependence_distance=9.0,
+        cond_branch_density=0.12,
+        predictable_branch_fraction=0.70,
+        hard_branch_bias=0.62,
+        paper_window="decode (5.5M)",
+    ),
+    _w(
+        "epic_encode",
+        MEDIABENCH,
+        description="Wavelet image encoder; moderate code, mid-size data set.",
+        code_footprint_kb=28.0,
+        inner_window_kb=18.0,
+        data_footprint_kb=320.0,
+        hot_data_kb=48.0,
+        fp_fraction=0.18,
+        mean_dependence_distance=10.0,
+        paper_window="encode (53M)",
+    ),
+    _w(
+        "epic_decode",
+        MEDIABENCH,
+        description="Wavelet image decoder; small kernel, streaming data.",
+        code_footprint_kb=10.0,
+        inner_window_kb=6.0,
+        data_footprint_kb=192.0,
+        hot_data_kb=40.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.7,
+        fp_fraction=0.12,
+        paper_window="decode (6.7M)",
+    ),
+    _w(
+        "jpeg_compress",
+        MEDIABENCH,
+        description="DCT-based compressor; block-structured, moderately high ILP.",
+        code_footprint_kb=18.0,
+        inner_window_kb=10.0,
+        data_footprint_kb=224.0,
+        hot_data_kb=28.0,
+        mean_dependence_distance=11.0,
+        sequential_fraction=0.7,
+        paper_window="compress (15.5M)",
+    ),
+    _w(
+        "jpeg_decompress",
+        MEDIABENCH,
+        description="Decompressor; small hot loops, high clock preference.",
+        code_footprint_kb=12.0,
+        inner_window_kb=6.0,
+        data_footprint_kb=128.0,
+        hot_data_kb=16.0,
+        mean_dependence_distance=10.0,
+        sequential_fraction=0.7,
+        paper_window="decompress (4.6M)",
+    ),
+    _w(
+        "g721_encode",
+        MEDIABENCH,
+        description="ADPCM voice codec; tiny serial kernel.",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=8.0,
+        hot_data_kb=4.0,
+        mean_dependence_distance=7.0,
+        paper_window="encode (0-200M)",
+    ),
+    _w(
+        "g721_decode",
+        MEDIABENCH,
+        description="ADPCM voice codec decoder; tiny serial kernel.",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=8.0,
+        hot_data_kb=4.0,
+        mean_dependence_distance=7.0,
+        paper_window="decode (0-200M)",
+    ),
+    _w(
+        "gsm_encode",
+        MEDIABENCH,
+        description="GSM speech encoder; large instruction footprint (prefers 64KB I-cache).",
+        code_footprint_kb=88.0,
+        inner_window_kb=52.0,
+        inner_iterations=30,
+        data_footprint_kb=64.0,
+        hot_data_kb=12.0,
+        mean_dependence_distance=9.0,
+        paper_window="encode (0-200M)",
+    ),
+    _w(
+        "gsm_decode",
+        MEDIABENCH,
+        description="GSM speech decoder; large instruction footprint.",
+        code_footprint_kb=80.0,
+        inner_window_kb=48.0,
+        inner_iterations=30,
+        data_footprint_kb=64.0,
+        hot_data_kb=12.0,
+        mean_dependence_distance=9.0,
+        paper_window="decode (0-74M)",
+    ),
+    _w(
+        "ghostscript",
+        MEDIABENCH,
+        description="PostScript interpreter; large code working set (>32KB).",
+        code_footprint_kb=72.0,
+        inner_window_kb=40.0,
+        inner_iterations=24,
+        data_footprint_kb=512.0,
+        hot_data_kb=64.0,
+        mean_dependence_distance=8.0,
+        paper_window="0-200M",
+    ),
+    _w(
+        "mesa_mipmap",
+        MEDIABENCH,
+        description="3D rasteriser, mipmapped textures; FP with mid-size data.",
+        code_footprint_kb=22.0,
+        inner_window_kb=12.0,
+        data_footprint_kb=448.0,
+        hot_data_kb=40.0,
+        fp_fraction=0.32,
+        mean_dependence_distance=10.0,
+        paper_window="mipmap (44.7M)",
+    ),
+    _w(
+        "mesa_osdemo",
+        MEDIABENCH,
+        description="3D demo scene; moderate code and FP mix.",
+        code_footprint_kb=34.0,
+        inner_window_kb=20.0,
+        data_footprint_kb=256.0,
+        hot_data_kb=32.0,
+        fp_fraction=0.28,
+        mean_dependence_distance=10.0,
+        paper_window="osdemo (7.6M)",
+    ),
+    _w(
+        "mesa_texgen",
+        MEDIABENCH,
+        description="Texture-coordinate generation; larger code, FP heavy.",
+        code_footprint_kb=50.0,
+        inner_window_kb=30.0,
+        data_footprint_kb=384.0,
+        hot_data_kb=48.0,
+        fp_fraction=0.34,
+        mean_dependence_distance=10.0,
+        paper_window="texgen (75.8M)",
+    ),
+    _w(
+        "mpeg2_encode",
+        MEDIABENCH,
+        description="Video encoder; small motion-estimation kernels, high ILP.",
+        code_footprint_kb=14.0,
+        inner_window_kb=6.0,
+        data_footprint_kb=192.0,
+        hot_data_kb=24.0,
+        mean_dependence_distance=12.0,
+        sequential_fraction=0.75,
+        paper_window="encode (0-171M)",
+    ),
+    _w(
+        "mpeg2_decode",
+        MEDIABENCH,
+        description="Video decoder; streaming access with small hot set.",
+        code_footprint_kb=16.0,
+        inner_window_kb=8.0,
+        data_footprint_kb=224.0,
+        hot_data_kb=32.0,
+        mean_dependence_distance=11.0,
+        sequential_fraction=0.75,
+        paper_window="decode (0-200M)",
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# Olden (Table 7)
+# ---------------------------------------------------------------------------
+
+_OLDEN = (
+    _w(
+        "bh",
+        OLDEN,
+        description="Barnes-Hut n-body; FP with pointer-linked tree traversal.",
+        code_footprint_kb=10.0,
+        inner_window_kb=5.0,
+        data_footprint_kb=512.0,
+        hot_data_kb=96.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.3,
+        fp_fraction=0.3,
+        mean_dependence_distance=6.0,
+        paper_window="0-200M",
+        paper_dataset="2048 1",
+    ),
+    _w(
+        "bisort",
+        OLDEN,
+        description="Bitonic sort over a binary tree; pointer chasing.",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=320.0,
+        hot_data_kb=64.0,
+        hot_data_fraction=0.75,
+        sequential_fraction=0.3,
+        mean_dependence_distance=4.5,
+        paper_window="entire program (127M)",
+        paper_dataset="65000 0",
+    ),
+    _w(
+        "em3d",
+        OLDEN,
+        description="Electromagnetic wave propagation; strongly memory bound.",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=1536.0,
+        hot_data_kb=768.0,
+        hot_data_fraction=0.85,
+        sequential_fraction=0.5,
+        mean_dependence_distance=12.0,
+        far_dependence_fraction=0.3,
+        paper_window="70M-178M (108M)",
+        paper_dataset="4000 10",
+    ),
+    _w(
+        "health",
+        OLDEN,
+        description="Hospital simulation; linked lists, memory bound and serial.",
+        code_footprint_kb=6.0,
+        inner_window_kb=3.0,
+        data_footprint_kb=1024.0,
+        hot_data_kb=384.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.45,
+        mean_dependence_distance=3.5,
+        paper_window="80M-127M (47M)",
+        paper_dataset="4 1000 1",
+    ),
+    _w(
+        "mst",
+        OLDEN,
+        description="Minimum spanning tree; hash lookups with bursty conflicts.",
+        code_footprint_kb=5.0,
+        inner_window_kb=2.5,
+        data_footprint_kb=1200.0,
+        hot_data_kb=32.0,
+        hot_data_fraction=0.85,
+        sequential_fraction=0.3,
+        mean_dependence_distance=6.5,
+        phases=bursty_conflict_phases(),
+        paper_window="70M-170M (100M)",
+        paper_dataset="1024 1",
+    ),
+    _w(
+        "perimeter",
+        OLDEN,
+        description="Quad-tree perimeter computation; recursive traversal.",
+        code_footprint_kb=6.0,
+        inner_window_kb=3.0,
+        data_footprint_kb=384.0,
+        hot_data_kb=48.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.3,
+        mean_dependence_distance=5.0,
+        paper_window="0-200M",
+        paper_dataset="12 1",
+    ),
+    _w(
+        "power",
+        OLDEN,
+        description="Power-system optimisation; FP compute over a small tree.",
+        code_footprint_kb=8.0,
+        inner_window_kb=4.0,
+        data_footprint_kb=48.0,
+        hot_data_kb=12.0,
+        fp_fraction=0.38,
+        mean_dependence_distance=9.0,
+        paper_window="0-200M",
+        paper_dataset="1 1",
+    ),
+    _w(
+        "treeadd",
+        OLDEN,
+        description="Recursive tree sum; serial pointer chasing over a large tree.",
+        code_footprint_kb=2.0,
+        inner_window_kb=1.0,
+        data_footprint_kb=768.0,
+        hot_data_kb=256.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.3,
+        mean_dependence_distance=3.5,
+        paper_window="entire program (189M)",
+        paper_dataset="20 1",
+    ),
+    _w(
+        "tsp",
+        OLDEN,
+        description="Travelling salesman; FP distance computation over a tour list.",
+        code_footprint_kb=6.0,
+        inner_window_kb=3.0,
+        data_footprint_kb=512.0,
+        hot_data_kb=80.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.4,
+        fp_fraction=0.22,
+        mean_dependence_distance=7.0,
+        paper_window="0-200M",
+        paper_dataset="100000 1",
+    ),
+)
+
+
+# ---------------------------------------------------------------------------
+# SPEC2000 (Table 8)
+# ---------------------------------------------------------------------------
+
+_SPEC_INT = (
+    _w(
+        "bzip2",
+        SPEC_INT,
+        description="Block-sorting compressor; tight kernel, prefers the fastest config.",
+        code_footprint_kb=8.0,
+        inner_window_kb=4.0,
+        data_footprint_kb=288.0,
+        hot_data_kb=24.0,
+        mean_dependence_distance=8.0,
+        paper_window="1000M-1100M",
+        paper_dataset="source 58",
+    ),
+    _w(
+        "crafty",
+        SPEC_INT,
+        description="Chess engine; large code footprint, branch intensive.",
+        code_footprint_kb=68.0,
+        inner_window_kb=40.0,
+        inner_iterations=26,
+        data_footprint_kb=256.0,
+        hot_data_kb=48.0,
+        cond_branch_density=0.12,
+        predictable_branch_fraction=0.8,
+        mean_dependence_distance=8.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "eon",
+        SPEC_INT,
+        description="Probabilistic ray tracer (C++); moderate code, some FP.",
+        code_footprint_kb=52.0,
+        inner_window_kb=30.0,
+        inner_iterations=28,
+        data_footprint_kb=160.0,
+        hot_data_kb=32.0,
+        fp_fraction=0.16,
+        mean_dependence_distance=9.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "gcc",
+        SPEC_INT,
+        description="Compiler; very large instruction and data working sets.",
+        code_footprint_kb=104.0,
+        inner_window_kb=60.0,
+        inner_iterations=22,
+        data_footprint_kb=640.0,
+        hot_data_kb=96.0,
+        hot_data_fraction=0.82,
+        sequential_fraction=0.4,
+        mean_dependence_distance=7.5,
+        paper_window="2000M-2100M",
+        paper_dataset="166.i",
+    ),
+    _w(
+        "gzip",
+        SPEC_INT,
+        description="LZ77 compressor; small kernel, modest data set.",
+        code_footprint_kb=8.0,
+        inner_window_kb=4.0,
+        data_footprint_kb=224.0,
+        hot_data_kb=32.0,
+        mean_dependence_distance=8.0,
+        paper_window="1000M-1100M",
+        paper_dataset="source 60",
+    ),
+    _w(
+        "parser",
+        SPEC_INT,
+        description="Natural-language parser; dictionary lookups, mid-size code.",
+        code_footprint_kb=44.0,
+        inner_window_kb=26.0,
+        inner_iterations=28,
+        data_footprint_kb=448.0,
+        hot_data_kb=64.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.35,
+        mean_dependence_distance=7.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "twolf",
+        SPEC_INT,
+        description="Place-and-route; random accesses over a mid-size netlist.",
+        code_footprint_kb=34.0,
+        inner_window_kb=20.0,
+        data_footprint_kb=512.0,
+        hot_data_kb=112.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.3,
+        mean_dependence_distance=7.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "vortex",
+        SPEC_INT,
+        description="Object database; very large code footprint and data set.",
+        code_footprint_kb=92.0,
+        inner_window_kb=54.0,
+        inner_iterations=24,
+        data_footprint_kb=768.0,
+        hot_data_kb=112.0,
+        hot_data_fraction=0.82,
+        sequential_fraction=0.4,
+        mean_dependence_distance=8.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "vpr",
+        SPEC_INT,
+        description="FPGA place-and-route; data-dependent branches, mid-size data.",
+        code_footprint_kb=26.0,
+        inner_window_kb=14.0,
+        data_footprint_kb=320.0,
+        hot_data_kb=64.0,
+        hot_data_fraction=0.82,
+        cond_branch_density=0.12,
+        predictable_branch_fraction=0.62,
+        hard_branch_bias=0.5,
+        mean_dependence_distance=7.0,
+        paper_window="1000M-1100M",
+    ),
+)
+
+_SPEC_FP = (
+    _w(
+        "apsi",
+        SPEC_FP,
+        description="Meteorology code; strong periodic phases in data-capacity needs.",
+        code_footprint_kb=36.0,
+        inner_window_kb=14.0,
+        data_footprint_kb=1024.0,
+        hot_data_kb=24.0,
+        fp_fraction=0.4,
+        mean_dependence_distance=10.0,
+        phases=periodic_data_phases(),
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "art",
+        SPEC_FP,
+        description="Neural-network image recognition; memory bound with ILP phases.",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=1024.0,
+        hot_data_kb=256.0,
+        hot_data_fraction=0.8,
+        sequential_fraction=0.5,
+        fp_fraction=0.35,
+        mean_dependence_distance=12.0,
+        far_dependence_fraction=0.25,
+        phases=periodic_ilp_phases(),
+        paper_window="300M-400M",
+    ),
+    _w(
+        "equake",
+        SPEC_FP,
+        description="Seismic wave simulation; sparse solver, memory intensive FP.",
+        code_footprint_kb=10.0,
+        inner_window_kb=5.0,
+        data_footprint_kb=768.0,
+        hot_data_kb=192.0,
+        hot_data_fraction=0.82,
+        sequential_fraction=0.45,
+        fp_fraction=0.36,
+        mean_dependence_distance=11.0,
+        far_dependence_fraction=0.25,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "galgel",
+        SPEC_FP,
+        description="Fluid dynamics; dense linear algebra with long dependence-free runs.",
+        code_footprint_kb=14.0,
+        inner_window_kb=7.0,
+        data_footprint_kb=288.0,
+        hot_data_kb=64.0,
+        fp_fraction=0.45,
+        mean_dependence_distance=20.0,
+        far_dependence_fraction=0.3,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "mesa",
+        SPEC_FP,
+        description="SPEC version of the Mesa rasteriser; moderate code and FP mix.",
+        code_footprint_kb=42.0,
+        inner_window_kb=24.0,
+        inner_iterations=28,
+        data_footprint_kb=288.0,
+        hot_data_kb=40.0,
+        fp_fraction=0.3,
+        mean_dependence_distance=10.0,
+        paper_window="1000M-1100M",
+    ),
+    _w(
+        "wupwise",
+        SPEC_FP,
+        description="Lattice QCD; regular FP compute with long independent chains.",
+        code_footprint_kb=12.0,
+        inner_window_kb=6.0,
+        data_footprint_kb=416.0,
+        hot_data_kb=96.0,
+        fp_fraction=0.44,
+        mean_dependence_distance=15.0,
+        far_dependence_fraction=0.28,
+        paper_window="1000M-1100M",
+    ),
+)
+
+
+#: All benchmark suites keyed by suite name.
+BENCHMARK_SUITES: dict[str, tuple[WorkloadProfile, ...]] = {
+    MEDIABENCH: _MEDIABENCH,
+    OLDEN: _OLDEN,
+    SPEC_INT: _SPEC_INT,
+    SPEC_FP: _SPEC_FP,
+}
+
+_BY_NAME: dict[str, WorkloadProfile] = {
+    profile.name: profile
+    for suite in BENCHMARK_SUITES.values()
+    for profile in suite
+}
+
+
+def mediabench_suite() -> tuple[WorkloadProfile, ...]:
+    """The eight MediaBench applications (16 program/input combinations)."""
+    return _MEDIABENCH
+
+
+def olden_suite() -> tuple[WorkloadProfile, ...]:
+    """The nine Olden applications."""
+    return _OLDEN
+
+
+def spec2000_suite() -> tuple[WorkloadProfile, ...]:
+    """The fifteen SPEC2000 applications (integer and floating point)."""
+    return _SPEC_INT + _SPEC_FP
+
+
+def full_suite() -> tuple[WorkloadProfile, ...]:
+    """All 32 applications, in the order the paper lists them."""
+    return _MEDIABENCH + _OLDEN + _SPEC_INT + _SPEC_FP
+
+
+def workload_names() -> tuple[str, ...]:
+    """Names of every application in the suite."""
+    return tuple(profile.name for profile in full_suite())
+
+
+def get_workload(name: str) -> WorkloadProfile:
+    """Look up a workload profile by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; known workloads: {', '.join(sorted(_BY_NAME))}"
+        ) from exc

@@ -1,0 +1,38 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads import WorkloadProfile
+
+
+@pytest.fixture
+def tiny_profile() -> WorkloadProfile:
+    """A small, fast-to-simulate workload used by integration tests."""
+    return WorkloadProfile(
+        name="tiny-test",
+        suite="test",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=32.0,
+        hot_data_kb=8.0,
+        simulation_window=2_000,
+    )
+
+
+@pytest.fixture
+def memory_bound_profile() -> WorkloadProfile:
+    """A memory-bound workload whose working set exceeds the minimal caches."""
+    return WorkloadProfile(
+        name="membound-test",
+        suite="test",
+        code_footprint_kb=4.0,
+        inner_window_kb=2.0,
+        data_footprint_kb=768.0,
+        hot_data_kb=384.0,
+        hot_data_fraction=0.85,
+        sequential_fraction=0.35,
+        mean_dependence_distance=12.0,
+        simulation_window=2_000,
+    )

@@ -1,0 +1,104 @@
+"""Tests for the picosecond time base and domain clocks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.clocks import (
+    DomainClock,
+    ghz_to_period_ps,
+    ns_to_ps,
+    period_ps_to_ghz,
+    ps_to_ns,
+    us_to_ps,
+)
+
+
+class TestTimeConversions:
+    def test_ghz_to_period(self):
+        assert ghz_to_period_ps(1.0) == 1000
+        assert ghz_to_period_ps(2.0) == 500
+
+    def test_period_to_ghz_roundtrip(self):
+        assert period_ps_to_ghz(ghz_to_period_ps(1.4)) == pytest.approx(1.4, rel=1e-2)
+
+    def test_ns_and_us_conversions(self):
+        assert ns_to_ps(80.0) == 80_000
+        assert us_to_ps(15.0) == 15_000_000
+        assert ps_to_ns(1_500) == pytest.approx(1.5)
+
+    def test_invalid_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            ghz_to_period_ps(0.0)
+        with pytest.raises(ValueError):
+            period_ps_to_ghz(0)
+
+    @given(st.floats(min_value=0.2, max_value=5.0))
+    def test_roundtrip_is_close_for_any_frequency(self, ghz):
+        assert period_ps_to_ghz(ghz_to_period_ps(ghz)) == pytest.approx(ghz, rel=0.01)
+
+
+class TestDomainClock:
+    def test_edges_advance_by_period(self):
+        clock = DomainClock("test", 1.0)
+        assert clock.next_edge == 0
+        clock.advance()
+        assert clock.next_edge == 1000
+        clock.advance()
+        assert clock.next_edge == 2000
+
+    def test_cycle_count_tracks_advances(self):
+        clock = DomainClock("test", 2.0)
+        for _ in range(5):
+            clock.advance()
+        assert clock.cycle_count == 5
+
+    def test_frequency_change_takes_effect_next_edge(self):
+        clock = DomainClock("test", 1.0)
+        clock.advance()  # next edge at 1000
+        clock.set_frequency(2.0)
+        clock.advance()
+        assert clock.next_edge == 1500
+
+    def test_edge_at_or_after_exact_edge(self):
+        clock = DomainClock("test", 1.0)
+        assert clock.edge_at_or_after(0) == 0
+
+    def test_edge_at_or_after_future_time(self):
+        clock = DomainClock("test", 1.0)
+        assert clock.edge_at_or_after(1) == 1000
+        assert clock.edge_at_or_after(1000) == 1000
+        assert clock.edge_at_or_after(2500) == 3000
+
+    def test_edge_at_or_after_does_not_advance(self):
+        clock = DomainClock("test", 1.0)
+        clock.edge_at_or_after(5000)
+        assert clock.next_edge == 0
+
+    def test_jitter_bounds(self):
+        clock = DomainClock("test", 1.0, jitter_fraction=0.1, seed=42)
+        previous = clock.next_edge
+        for _ in range(200):
+            current = clock.advance()
+            step = current - previous
+            assert 900 <= step <= 1100
+            previous = current
+
+    def test_jitter_fraction_validation(self):
+        with pytest.raises(ValueError):
+            DomainClock("test", 1.0, jitter_fraction=0.6)
+
+    def test_set_period_validation(self):
+        clock = DomainClock("test", 1.0)
+        with pytest.raises(ValueError):
+            clock.set_period_ps(0)
+
+    def test_cycles_to_ps(self):
+        clock = DomainClock("test", 2.0)
+        assert clock.cycles_to_ps(10) == 5000
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_edge_at_or_after_is_aligned_and_not_early(self, time_ps):
+        clock = DomainClock("prop", 1.6)
+        edge = clock.edge_at_or_after(time_ps)
+        assert edge >= time_ps
+        assert (edge - clock.next_edge) % clock.period_ps == 0

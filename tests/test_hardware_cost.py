@@ -1,0 +1,46 @@
+"""Tests for the controller hardware-cost model (Table 4)."""
+
+import pytest
+
+from repro.analysis import (
+    ilp_tracker_storage_bits,
+    phase_adaptive_cache_hardware,
+    total_equivalent_gates,
+)
+
+
+class TestTable4:
+    def test_component_inventory_matches_table4(self):
+        components = phase_adaptive_cache_hardware()
+        names = [component.name for component in components]
+        assert len(components) == 6
+        assert any("counters" in name.lower() for name in names)
+        assert any("multiplier" in name.lower() for name in names)
+        assert any("comparator" in name.lower() for name in names)
+
+    def test_individual_rows_match_paper_numbers(self):
+        by_name = {c.name: c.equivalent_gates for c in phase_adaptive_cache_hardware()}
+        assert by_name["MRU and hit counters (15-bit)"] == 2520
+        assert by_name["Adders (15-bit)"] == 1155
+        assert by_name["8x28-bit multipliers (36-bit result)"] == 360
+        assert by_name["Final adder (36-bit)"] == 252
+        assert by_name["Result register (36-bit)"] == 144
+        assert by_name["Comparator (36-bit)"] == 216
+
+    def test_total_matches_paper(self):
+        assert total_equivalent_gates() == 4647
+
+    def test_two_controllers_are_about_10k_gates(self):
+        assert 2 * total_equivalent_gates() < 10_000
+
+
+class TestILPTrackerStorage:
+    def test_storage_matches_section_3_2(self):
+        assert ilp_tracker_storage_bits(16) == 256
+        assert ilp_tracker_storage_bits(32) == 320
+        assert ilp_tracker_storage_bits(48) == 384
+        assert ilp_tracker_storage_bits(64) == 384
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValueError):
+            ilp_tracker_storage_bits(24)

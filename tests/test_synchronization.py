@@ -1,0 +1,95 @@
+"""Tests for clock-domain synchronisation and the PLL model."""
+
+import pytest
+
+from repro.clocks import DomainClock
+from repro.core import PLLModel, SynchronizationModel
+
+
+class TestSynchronizationModel:
+    def test_disabled_model_is_free(self):
+        model = SynchronizationModel(enabled=False)
+        producer = DomainClock("a", 1.0)
+        consumer = DomainClock("b", 1.3)
+        assert model.transfer(12_345, producer, consumer) == 12_345
+        assert model.stats.transfers == 0
+
+    def test_same_clock_is_free(self):
+        model = SynchronizationModel(enabled=True)
+        clock = DomainClock("a", 1.0)
+        assert model.transfer(777, clock, clock) == 777
+
+    def test_transfer_aligns_to_consumer_edge(self):
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)   # 1000 ps period
+        consumer = DomainClock("b", 0.5)   # 2000 ps period
+        # Event at 900 ps: next consumer edge is 2000 ps, comfortably outside
+        # the 30% window (0.3 * 1000 = 300 ps).
+        assert model.transfer(900, producer, consumer) == 2000
+
+    def test_transfer_penalty_when_edges_close(self):
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)
+        consumer = DomainClock("b", 0.5)
+        # Event at 1900 ps: consumer edge at 2000 ps is only 100 ps away,
+        # inside the 300 ps window, so one extra consumer cycle is charged.
+        assert model.transfer(1900, producer, consumer) == 4000
+        assert model.stats.penalties == 1
+
+    def test_fifo_crossing_skips_penalty(self):
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)
+        consumer = DomainClock("b", 0.5)
+        assert model.transfer(1900, producer, consumer, fifo=True) == 2000
+
+    def test_record_false_suppresses_stats(self):
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)
+        consumer = DomainClock("b", 0.7)
+        model.transfer(100, producer, consumer, record=False)
+        assert model.stats.transfers == 0
+
+    def test_penalty_rate(self):
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.7)
+        consumer = DomainClock("b", 1.1)
+        for time in range(0, 100_000, 777):
+            model.transfer(time, producer, consumer)
+        assert 0.0 < model.stats.penalty_rate < 1.0
+
+    def test_window_fraction_validation(self):
+        with pytest.raises(ValueError):
+            SynchronizationModel(window_fraction=1.5)
+
+    def test_reset(self):
+        model = SynchronizationModel(enabled=True)
+        model.transfer(100, DomainClock("a", 1.0), DomainClock("b", 1.2))
+        model.reset()
+        assert model.stats.transfers == 0
+
+
+class TestPLLModel:
+    def test_paper_mode_within_bounds(self):
+        pll = PLLModel(interval_scaled=False, seed=3)
+        for _ in range(100):
+            lock = pll.sample_lock_ps()
+            assert 10_000_000 <= lock <= 20_000_000
+
+    def test_interval_scaled_mode_tracks_interval(self):
+        pll = PLLModel(interval_scaled=True, seed=3)
+        for _ in range(50):
+            lock = pll.sample_lock_ps(1_000_000)
+            assert 700_000 <= lock <= 1_300_000
+
+    def test_interval_scaled_without_reference_falls_back(self):
+        pll = PLLModel(interval_scaled=True, seed=3)
+        assert pll.sample_lock_ps(None) >= 10_000_000
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            PLLModel(mean_us=5.0, min_us=10.0, max_us=20.0)
+
+    def test_determinism_with_seed(self):
+        first = [PLLModel(seed=9).sample_lock_ps() for _ in range(5)]
+        second = [PLLModel(seed=9).sample_lock_ps() for _ in range(5)]
+        assert first == second

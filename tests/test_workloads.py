@@ -1,0 +1,248 @@
+"""Tests for the synthetic workload substrate and the benchmark suite."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import OpClass
+from repro.workloads import (
+    BENCHMARK_SUITES,
+    PhaseSpec,
+    SyntheticTraceGenerator,
+    WorkloadProfile,
+    full_suite,
+    get_workload,
+    mediabench_suite,
+    olden_suite,
+    spec2000_suite,
+    workload_names,
+)
+from repro.workloads.generator import CODE_BASE, HOT_DATA_BASE
+from repro.workloads.phases import (
+    bursty_conflict_phases,
+    periodic_data_phases,
+    periodic_ilp_phases,
+)
+
+
+class TestWorkloadProfile:
+    def test_validation_rejects_bad_mix(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="t", load_fraction=0.7)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="t", load_fraction=0.5, store_fraction=0.4)
+
+    def test_validation_rejects_bad_footprints(self):
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="t", inner_window_kb=16.0, code_footprint_kb=8.0)
+        with pytest.raises(ValueError):
+            WorkloadProfile(name="x", suite="t", hot_data_kb=128.0, data_footprint_kb=64.0)
+
+    def test_with_overrides(self):
+        profile = WorkloadProfile(name="x", suite="t")
+        changed = profile.with_overrides(hot_data_kb=8.0)
+        assert changed.hot_data_kb == 8.0
+        assert profile.hot_data_kb == 16.0
+        with pytest.raises(ValueError):
+            profile.with_overrides(nonexistent=1)
+
+    def test_scaled_window(self):
+        profile = WorkloadProfile(name="x", suite="t", simulation_window=20_000)
+        assert profile.scaled(0.5).simulation_window == 10_000
+        assert profile.scaled(1e-9).simulation_window == 1_000
+        with pytest.raises(ValueError):
+            profile.scaled(0)
+
+    def test_phase_spec_validation(self):
+        with pytest.raises(ValueError):
+            PhaseSpec(length=0)
+        with pytest.raises(ValueError):
+            PhaseSpec(length=100, overrides={"block_size": 4})
+
+    def test_is_floating_point(self):
+        assert WorkloadProfile(name="x", suite="t", fp_fraction=0.4).is_floating_point
+        assert not WorkloadProfile(name="x", suite="t", fp_fraction=0.05).is_floating_point
+
+
+class TestSuite:
+    def test_suite_sizes_match_tables_6_to_8(self):
+        assert len(mediabench_suite()) == 16  # 8 applications, encode/decode variants
+        assert len(olden_suite()) == 9
+        assert len(spec2000_suite()) == 15
+        assert len(full_suite()) == 40
+
+    def test_all_names_unique(self):
+        names = workload_names()
+        assert len(names) == len(set(names))
+
+    def test_get_workload(self):
+        assert get_workload("gcc").suite == "SPEC2000-Int"
+        with pytest.raises(KeyError):
+            get_workload("not-a-benchmark")
+
+    def test_suites_keyed_consistently(self):
+        for suite_name, profiles in BENCHMARK_SUITES.items():
+            for profile in profiles:
+                assert profile.suite == suite_name
+
+    def test_paper_windows_recorded(self):
+        assert all(profile.paper_window for profile in full_suite())
+
+    def test_phased_workloads_present(self):
+        assert get_workload("apsi").has_phases
+        assert get_workload("art").has_phases
+        assert get_workload("mst").has_phases
+
+    def test_memory_bound_benchmarks_have_large_working_sets(self):
+        for name in ("em3d", "health", "mst", "art"):
+            assert get_workload(name).data_footprint_kb >= 1000
+
+    def test_instruction_bound_benchmarks_have_large_code(self):
+        for name in ("gsm_encode", "ghostscript", "gcc", "vortex", "crafty"):
+            assert get_workload(name).code_footprint_kb > 48
+
+    def test_most_workloads_fit_the_smallest_caches(self):
+        """Table 9: about half of the applications prefer the smallest
+        configuration, so about half must have small working sets."""
+        small_data = sum(1 for p in full_suite() if p.hot_data_kb <= 32)
+        small_code = sum(1 for p in full_suite() if p.code_footprint_kb <= 16)
+        assert small_data >= len(full_suite()) * 0.4
+        assert small_code >= len(full_suite()) * 0.4
+
+
+class TestPhaseHelpers:
+    def test_periodic_data_phases_alternate_capacity(self):
+        phases = periodic_data_phases()
+        assert len(phases) == 2
+        assert phases[0].overrides["hot_data_kb"] < phases[1].overrides["hot_data_kb"]
+
+    def test_periodic_ilp_phases_cycle_distances(self):
+        phases = periodic_ilp_phases()
+        distances = [p.overrides["mean_dependence_distance"] for p in phases]
+        assert distances == sorted(distances)
+
+    def test_bursty_phases_are_asymmetric(self):
+        quiet, burst = bursty_conflict_phases()
+        assert quiet.length > burst.length
+
+
+class TestGenerator:
+    def test_determinism(self, tiny_profile):
+        first = SyntheticTraceGenerator(tiny_profile, seed=7).generate(2000)
+        second = SyntheticTraceGenerator(tiny_profile, seed=7).generate(2000)
+        assert [i.pc for i in first] == [i.pc for i in second]
+        assert [i.op for i in first] == [i.op for i in second]
+        assert [i.address for i in first] == [i.address for i in second]
+
+    def test_different_seeds_differ(self, tiny_profile):
+        first = SyntheticTraceGenerator(tiny_profile, seed=1).generate(2000)
+        second = SyntheticTraceGenerator(tiny_profile, seed=2).generate(2000)
+        assert [i.address for i in first] != [i.address for i in second]
+
+    def test_sequence_numbers_are_dense(self, tiny_profile):
+        trace = SyntheticTraceGenerator(tiny_profile).generate(500)
+        assert [inst.seq for inst in trace] == list(range(500))
+
+    def test_instruction_mix_close_to_profile(self):
+        profile = WorkloadProfile(
+            name="mix", suite="t", load_fraction=0.3, store_fraction=0.1,
+            fp_fraction=0.4, simulation_window=1000,
+        )
+        trace = SyntheticTraceGenerator(profile, seed=3).generate(30_000)
+        counts = Counter(inst.op for inst in trace)
+        total = len(trace)
+        loads = counts[OpClass.LOAD] / total
+        stores = counts[OpClass.STORE] / total
+        assert abs(loads - 0.3 * (1 - _branch_share(counts, total))) < 0.08
+        assert abs(stores - 0.1 * (1 - _branch_share(counts, total))) < 0.05
+        fp_ops = sum(counts[op] for op in (OpClass.FP_ALU, OpClass.FP_MULT, OpClass.FP_DIV))
+        assert fp_ops > 0
+
+    def test_pcs_stay_within_code_footprint(self, tiny_profile):
+        trace = SyntheticTraceGenerator(tiny_profile).generate(5000)
+        footprint_bytes = int(tiny_profile.code_footprint_kb * 1024)
+        for inst in trace:
+            assert CODE_BASE <= inst.pc < CODE_BASE + footprint_bytes
+
+    def test_data_addresses_stay_within_footprint(self, tiny_profile):
+        trace = SyntheticTraceGenerator(tiny_profile).generate(5000)
+        footprint_bytes = int(tiny_profile.data_footprint_kb * 1024)
+        for inst in trace:
+            if inst.is_memory_op:
+                assert HOT_DATA_BASE <= inst.address < HOT_DATA_BASE + footprint_bytes + 64
+
+    def test_branches_have_targets_and_memory_ops_addresses(self, tiny_profile):
+        for inst in SyntheticTraceGenerator(tiny_profile).generate(3000):
+            if inst.is_branch:
+                assert inst.target is not None
+            if inst.is_memory_op:
+                assert inst.address is not None
+            else:
+                assert inst.address is None
+
+    def test_control_flow_is_consistent(self, tiny_profile):
+        """The next instruction's PC must equal the previous instruction's
+        architectural next PC (no teleporting in the trace)."""
+        trace = SyntheticTraceGenerator(tiny_profile).generate(4000)
+        for previous, current in zip(trace, trace[1:]):
+            assert current.pc == previous.next_pc
+
+    def test_phases_change_generation_parameters(self):
+        profile = WorkloadProfile(
+            name="phased", suite="t",
+            data_footprint_kb=512.0, hot_data_kb=16.0,
+            phases=(
+                PhaseSpec(length=2000, overrides={"hot_data_kb": 8.0}),
+                PhaseSpec(length=2000, overrides={"hot_data_kb": 256.0}),
+            ),
+        )
+        generator = SyntheticTraceGenerator(profile, seed=11)
+        first_phase = generator.generate(2000)
+        second_phase = generator.generate(2000)
+
+        def hot_region_share(instructions, region_kb):
+            memory_ops = [i for i in instructions if i.is_memory_op]
+            within = sum(
+                1
+                for i in memory_ops
+                if (i.address or 0) - HOT_DATA_BASE < region_kb * 1024
+            )
+            return within / max(1, len(memory_ops))
+
+        # Phase one confines its hot accesses to 8 KB; phase two spreads them
+        # over 256 KB, so far fewer of its accesses land in the first 8 KB.
+        assert hot_region_share(first_phase, 8) > hot_region_share(second_phase, 8) + 0.2
+
+    def test_larger_dependence_distance_raises_measured_ilp(self):
+        serial = WorkloadProfile(name="serial", suite="t", mean_dependence_distance=2.0,
+                                 far_dependence_fraction=0.05)
+        parallel = WorkloadProfile(name="parallel", suite="t", mean_dependence_distance=25.0,
+                                   far_dependence_fraction=0.3)
+        assert _dependence_height(serial) > _dependence_height(parallel)
+
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    @settings(max_examples=15, deadline=None)
+    def test_any_seed_produces_valid_instructions(self, seed):
+        profile = WorkloadProfile(name="prop", suite="t", simulation_window=1000)
+        for inst in SyntheticTraceGenerator(profile, seed=seed).generate(400):
+            assert inst.pc >= CODE_BASE
+            if inst.is_memory_op:
+                assert inst.address is not None and inst.address % 8 == 0
+
+
+def _branch_share(counts, total):
+    return counts[OpClass.BRANCH] / total
+
+
+def _dependence_height(profile, count=3000):
+    """Average dependence-chain height per instruction over a window."""
+    trace = SyntheticTraceGenerator(profile, seed=5).generate(count)
+    timestamps: dict[str, int] = {}
+    height_total = 0
+    for inst in trace:
+        height = 1 + max((timestamps.get(s, 0) for s in inst.sources), default=0)
+        if inst.dest is not None:
+            timestamps[inst.dest] = height
+        height_total += height
+    return height_total / count
