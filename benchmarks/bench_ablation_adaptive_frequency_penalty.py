@@ -7,13 +7,12 @@ measures how much performance an upsized Program-Adaptive machine loses to
 that penalty by re-running it with the optimal (non-resizable) frequencies.
 """
 
-import dataclasses
 import os
 
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import default_warmup, make_trace
-from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.core import AdaptiveConfigIndices, adaptive_mcd_spec
 from repro.core.domains import Domain
+from repro.engine import SimulationJob, SpecKind, default_engine
 from repro.timing.tables import OPTIMAL_DCACHE_CONFIGS, OPTIMIZED_ICACHE_CONFIGS
 from repro.workloads import get_workload
 
@@ -25,41 +24,45 @@ CASES = (
 )
 
 
-def measure_frequency_penalty(window):
-    rows = []
-    for name, indices in CASES:
-        profile = get_workload(name)
-        adaptive = adaptive_mcd_spec(indices, use_b_partitions=False)
-        # Hypothetical machine: same capacities, but clocked as if the
-        # structures were capacity-optimised (no adaptivity penalty).
-        optimal_frequencies = dict(adaptive.frequencies_ghz)
-        optimal_frequencies[Domain.LOAD_STORE] = OPTIMAL_DCACHE_CONFIGS[
-            indices.dcache_index
-        ].frequency_ghz
-        optimal_icache = next(
-            config
-            for config in OPTIMIZED_ICACHE_CONFIGS
-            if config.size_kb == adaptive.icache.size_kb and config.ways == 1
-        )
-        optimal_frequencies[Domain.FRONT_END] = optimal_icache.frequency_ghz
-        no_penalty = dataclasses.replace(adaptive, frequencies_ghz=optimal_frequencies)
+def _optimal_frequencies(indices):
+    # Hypothetical machine: same capacities, but clocked as if the
+    # structures were capacity-optimised (no adaptivity penalty).
+    adaptive = adaptive_mcd_spec(indices, use_b_partitions=False)
+    frequencies = dict(adaptive.frequencies_ghz)
+    frequencies[Domain.LOAD_STORE] = OPTIMAL_DCACHE_CONFIGS[
+        indices.dcache_index
+    ].frequency_ghz
+    optimal_icache = next(
+        config
+        for config in OPTIMIZED_ICACHE_CONFIGS
+        if config.size_kb == adaptive.icache.size_kb and config.ways == 1
+    )
+    frequencies[Domain.FRONT_END] = optimal_icache.frequency_ghz
+    return frequencies
 
-        results = {}
-        for label, spec in (("adaptive", adaptive), ("no-penalty", no_penalty)):
-            processor = MCDProcessor(spec)
-            results[label] = processor.run(
-                make_trace(profile).instructions(),
-                max_instructions=window,
-                warmup_instructions=default_warmup(profile, window),
-                workload_name=name,
-            )
-        loss = results["adaptive"].execution_time_ps / results["no-penalty"].execution_time_ps - 1
+
+def measure_frequency_penalty(window):
+    jobs = [
+        SimulationJob(
+            profile=get_workload(name),
+            spec_kind=SpecKind.ADAPTIVE,
+            indices=indices,
+            spec_overrides=overrides,
+            window=window,
+        )
+        for name, indices in CASES
+        for overrides in (None, {"frequencies_ghz": _optimal_frequencies(indices)})
+    ]
+    results = default_engine().run_all(jobs)
+    rows = []
+    for (name, indices), adaptive, no_penalty in zip(CASES, results[::2], results[1::2]):
+        loss = adaptive.execution_time_ps / no_penalty.execution_time_ps - 1
         rows.append(
             (
                 name,
                 indices.describe(),
-                f"{results['no-penalty'].execution_time_us:.2f}",
-                f"{results['adaptive'].execution_time_us:.2f}",
+                f"{no_penalty.execution_time_us:.2f}",
+                f"{adaptive.execution_time_us:.2f}",
                 f"{loss * 100:+.2f}%",
             )
         )

@@ -7,41 +7,40 @@ machine with the adaptive penalty (10+9) and with the synchronous penalty
 (9+7).
 """
 
-import dataclasses
 import os
 
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import default_warmup, make_trace
-from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.engine import SimulationJob, SpecKind, default_engine
 from repro.workloads import get_workload
 
 WORKLOADS = ("adpcm_decode", "crafty", "vpr", "g721_encode")
 
+#: The synchronous machine's shallower misprediction penalty, applied to the
+#: adaptive machine as a hypothetical.
+SHALLOW_PENALTY = {"mispredict_front_end_cycles": 9, "mispredict_integer_cycles": 7}
+
 
 def measure_penalty_cost(window):
-    rows = []
-    for name in WORKLOADS:
-        profile = get_workload(name)
-        adaptive_penalty = adaptive_mcd_spec(AdaptiveConfigIndices(), use_b_partitions=False)
-        synchronous_penalty = dataclasses.replace(
-            adaptive_penalty, mispredict_front_end_cycles=9, mispredict_integer_cycles=7
+    jobs = [
+        SimulationJob(
+            profile=get_workload(name),
+            spec_kind=SpecKind.ADAPTIVE,
+            spec_overrides=overrides,
+            window=window,
         )
-        results = {}
-        for label, spec in (("adaptive", adaptive_penalty), ("shallow", synchronous_penalty)):
-            processor = MCDProcessor(spec)
-            results[label] = processor.run(
-                make_trace(profile).instructions(),
-                max_instructions=window,
-                warmup_instructions=default_warmup(profile, window),
-                workload_name=name,
-            )
-        cost = results["adaptive"].execution_time_ps / results["shallow"].execution_time_ps - 1
+        for name in WORKLOADS
+        for overrides in (None, SHALLOW_PENALTY)
+    ]
+    results = default_engine().run_all(jobs)
+    rows = []
+    for name, adaptive, shallow in zip(WORKLOADS, results[::2], results[1::2]):
+        cost = adaptive.execution_time_ps / shallow.execution_time_ps - 1
         rows.append(
             (
                 name,
-                f"{results['adaptive'].branch_misprediction_rate:.3f}",
-                f"{results['shallow'].execution_time_us:.2f}",
-                f"{results['adaptive'].execution_time_us:.2f}",
+                f"{adaptive.branch_misprediction_rate:.3f}",
+                f"{shallow.execution_time_us:.2f}",
+                f"{adaptive.execution_time_us:.2f}",
                 f"{cost * 100:+.2f}%",
             )
         )

@@ -6,42 +6,37 @@ This benchmark runs the base adaptive MCD machine with and without the
 synchronisation model on a few representative workloads.
 """
 
-import dataclasses
 import os
 
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import default_warmup, make_trace
-from repro.core import AdaptiveConfigIndices, MCDProcessor, adaptive_mcd_spec
+from repro.engine import SimulationJob, SpecKind, default_engine
 from repro.workloads import get_workload
 
 WORKLOADS = ("g721_encode", "bzip2", "gzip", "power")
 
 
 def measure_sync_cost(window):
-    rows = []
-    for name in WORKLOADS:
-        profile = get_workload(name)
-        spec = adaptive_mcd_spec(AdaptiveConfigIndices(), use_b_partitions=False)
-        nosync_spec = dataclasses.replace(spec, inter_domain_sync=False)
-        results = {}
-        for label, machine_spec in (("sync", spec), ("nosync", nosync_spec)):
-            processor = MCDProcessor(machine_spec)
-            results[label] = processor.run(
-                make_trace(profile).instructions(),
-                max_instructions=window,
-                warmup_instructions=default_warmup(profile, window),
-                workload_name=name,
-            )
-        overhead = (
-            results["sync"].execution_time_ps / results["nosync"].execution_time_ps - 1
+    jobs = [
+        SimulationJob(
+            profile=get_workload(name),
+            spec_kind=SpecKind.ADAPTIVE,
+            spec_overrides=overrides,
+            window=window,
         )
+        for name in WORKLOADS
+        for overrides in (None, {"inter_domain_sync": False})
+    ]
+    results = default_engine().run_all(jobs)
+    rows = []
+    for name, sync, nosync in zip(WORKLOADS, results[::2], results[1::2]):
+        overhead = sync.execution_time_ps / nosync.execution_time_ps - 1
         rows.append(
             (
                 name,
-                f"{results['sync'].execution_time_us:.2f}",
-                f"{results['nosync'].execution_time_us:.2f}",
+                f"{sync.execution_time_us:.2f}",
+                f"{nosync.execution_time_us:.2f}",
                 f"{overhead * 100:+.2f}%",
-                results["sync"].sync_penalties,
+                sync.sync_penalties,
             )
         )
     return rows

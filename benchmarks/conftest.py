@@ -1,5 +1,10 @@
 """Shared configuration for the benchmark harness.
 
+The Figure 6 / Table 9 sweep runs through the experiment engine
+(:mod:`repro.engine`); the harness times it once per configured executor
+mode and appends the wall-clock numbers to ``BENCH_sweep.json`` at the repo
+root, so the sweep layer's performance trajectory is tracked across PRs.
+
 Environment variables scale the heavy experiments:
 
 ``REPRO_BENCH_WINDOW``
@@ -12,15 +17,33 @@ Environment variables scale the heavy experiments:
     minutes; EXPERIMENTS.md records full-suite numbers.
 ``REPRO_BENCH_SEARCH``
     ``factored`` (default) or ``exhaustive`` Program-Adaptive search.
+``REPRO_BENCH_WORKERS``
+    Worker processes for the parallel executor mode (default 2; ``auto``
+    uses one worker per available core).
+``REPRO_BENCH_MODES``
+    Comma-separated executor modes to time, from ``serial`` and
+    ``parallel`` (default ``serial,parallel``).  The last mode's results
+    feed the benchmarks; every mode's wall-clock is recorded.
+
+Each timed mode gets a fresh in-memory result cache — never a shared or
+on-disk one — so the recorded wall-clocks measure simulation and stay
+comparable across modes and sessions.  (The untimed drivers still benefit
+from the default engine's cache, configurable via the ``REPRO_ENGINE_*``
+variables.)
 """
 
 from __future__ import annotations
 
+import json
 import os
+import platform
+import time
+from pathlib import Path
 
 import pytest
 
-from repro.analysis.sweep import compare_workload
+from repro.analysis.sweep import compare_workloads
+from repro.engine import ExperimentEngine, default_worker_count, make_engine
 from repro.workloads import full_suite, get_workload
 
 #: Representative subset: small media kernels, instruction-bound codes,
@@ -31,6 +54,12 @@ DEFAULT_BENCH_WORKLOADS = (
     "em3d", "health", "bzip2", "gcc", "vortex", "galgel", "apsi", "art",
 )
 
+#: Where the sweep wall-clock trajectory is persisted (repo root).
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+
+#: Recorded sweep entries kept per experiment (oldest dropped first).
+_BENCH_HISTORY_LIMIT = 50
+
 
 def bench_window() -> int:
     return int(os.environ.get("REPRO_BENCH_WINDOW", "6000"))
@@ -38,6 +67,22 @@ def bench_window() -> int:
 
 def bench_search_mode() -> str:
     return os.environ.get("REPRO_BENCH_SEARCH", "factored")
+
+
+def bench_workers() -> int:
+    value = os.environ.get("REPRO_BENCH_WORKERS", "2")
+    if value.strip().lower() == "auto":
+        return max(2, default_worker_count())
+    return max(2, int(value))
+
+
+def bench_modes() -> tuple[str, ...]:
+    value = os.environ.get("REPRO_BENCH_MODES", "serial,parallel")
+    modes = tuple(mode.strip() for mode in value.split(",") if mode.strip())
+    unknown = set(modes) - {"serial", "parallel"}
+    if unknown:
+        raise ValueError(f"unknown REPRO_BENCH_MODES entries: {sorted(unknown)}")
+    return modes or ("serial",)
 
 
 def bench_workloads():
@@ -49,17 +94,85 @@ def bench_workloads():
     return tuple(get_workload(name) for name in DEFAULT_BENCH_WORKLOADS)
 
 
+def _bench_engine(mode: str) -> ExperimentEngine:
+    # A fresh in-memory cache per timing run: wall-clocks must measure
+    # simulation, not whatever an earlier mode (or session) left behind.
+    return make_engine(workers=bench_workers() if mode == "parallel" else 1)
+
+
+def _comparisons_equal(left, right) -> bool:
+    if len(left) != len(right):
+        return False
+    return all(
+        a.workload == b.workload
+        and a.program_best_indices == b.program_best_indices
+        and a.synchronous == b.synchronous
+        and a.program_adaptive == b.program_adaptive
+        and a.phase_adaptive == b.phase_adaptive
+        for a, b in zip(left, right)
+    )
+
+
+def record_sweep_benchmark(experiment: str, entry: dict) -> None:
+    """Append *entry* under *experiment* in ``BENCH_sweep.json``."""
+    data: dict = {}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            data = json.loads(BENCH_RESULTS_PATH.read_text())
+        except ValueError:
+            data = {}
+    history = data.setdefault(experiment, [])
+    history.append(entry)
+    del history[:-_BENCH_HISTORY_LIMIT]
+    BENCH_RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
+
+
 @pytest.fixture(scope="session")
 def figure6_comparisons():
-    """Run the full three-machine comparison once and share it across benches."""
+    """Run the three-machine comparison once per executor mode, record the
+    wall-clocks, and share the results across benches."""
+    profiles = bench_workloads()
     window = bench_window()
-    comparisons = []
-    for profile in bench_workloads():
-        comparisons.append(
-            compare_workload(
-                profile,
-                search_mode=bench_search_mode(),
-                window=window,
-            )
+    search_mode = bench_search_mode()
+
+    runs = []
+    comparisons = None
+    reference = None
+    for mode in bench_modes():
+        engine = _bench_engine(mode)
+        started = time.perf_counter()
+        comparisons = compare_workloads(
+            profiles, search_mode=search_mode, window=window, engine=engine
         )
+        elapsed = time.perf_counter() - started
+        runs.append(
+            {
+                "mode": mode,
+                "workers": engine.executor.workers,
+                "seconds": round(elapsed, 3),
+                "simulations": engine.stats.simulations,
+                "cache_hits": engine.stats.cache_hits,
+            }
+        )
+        if reference is None:
+            reference = comparisons
+        elif not _comparisons_equal(reference, comparisons):
+            raise AssertionError(
+                f"executor mode {mode!r} produced different sweep results"
+            )
+
+    entry = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "window": window,
+        "workloads": len(profiles),
+        "search_mode": search_mode,
+        "cpus": default_worker_count(),
+        "python": platform.python_version(),
+        "runs": runs,
+    }
+    by_mode = {run["mode"]: run["seconds"] for run in runs}
+    if "serial" in by_mode and "parallel" in by_mode and by_mode["parallel"] > 0:
+        entry["parallel_speedup"] = round(by_mode["serial"] / by_mode["parallel"], 3)
+    record_sweep_benchmark("figure6_sweep", entry)
+
     return comparisons

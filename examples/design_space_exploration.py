@@ -2,36 +2,85 @@
 
 The paper's Program-Adaptive mode picks, per application, the adaptive MCD
 configuration with the best whole-program run time.  This example performs
-the factored search used by the benchmark harness, prints every configuration
-it evaluated, and reports the winner and its gain over the fully synchronous
-baseline.
+the search through the parallel experiment engine, prints every
+configuration it evaluated, and reports the winner and its gain over the
+fully synchronous baseline.
 
 Usage::
 
-    python examples/design_space_exploration.py [workload-name] [mode]
+    python examples/design_space_exploration.py [workload-name]
+        [--mode factored|exhaustive] [--window N]
+        [--workers N|auto] [--cache-dir PATH] [--no-cache]
 
-``mode`` is ``factored`` (default, ~15 simulations) or ``exhaustive``
-(all 256 adaptive configurations — slow).
+``--mode exhaustive`` walks all 256 adaptive configurations (slow; use
+``--workers auto`` to spread the batch over every core).  ``--cache-dir``
+persists results on disk so a repeated search costs nothing.
 """
 
 from __future__ import annotations
 
-import sys
+import argparse
 
 from repro.analysis import program_adaptive_search, run_synchronous
 from repro.analysis.reporting import format_table
+from repro.engine import make_engine
 from repro.workloads import get_workload
 
 
-def main() -> None:
-    name = sys.argv[1] if len(sys.argv) > 1 else "em3d"
-    mode = sys.argv[2] if len(sys.argv) > 2 else "factored"
-    window = 8_000
-    profile = get_workload(name)
+def worker_count(value: str) -> int | str:
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError("worker count must be at least 1")
+    return workers
 
-    print(f"searching adaptive configurations for {name} (mode={mode})...")
-    sweep = program_adaptive_search(profile, mode=mode, window=window)
-    baseline = run_synchronous(profile, window=window)
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Program-Adaptive design-space search through the experiment engine"
+    )
+    parser.add_argument("workload", nargs="?", default="em3d", help="workload name")
+    parser.add_argument(
+        "--mode",
+        choices=("factored", "exhaustive"),
+        default="factored",
+        help="search mode (factored ~15 simulations, exhaustive 256)",
+    )
+    parser.add_argument("--window", type=int, default=8_000, help="simulated instructions")
+    parser.add_argument(
+        "--workers",
+        type=worker_count,
+        default=1,
+        help="worker processes for the sweep ('auto' = one per core)",
+    )
+    parser.add_argument("--cache-dir", default=None, help="persistent result-cache directory")
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable result caching entirely"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    profile = get_workload(args.workload)
+    engine = make_engine(
+        workers=args.workers, cache_dir=args.cache_dir, use_cache=not args.no_cache
+    )
+
+    print(
+        f"searching adaptive configurations for {profile.name} "
+        f"(mode={args.mode}, workers={engine.executor.workers})..."
+    )
+    sweep = program_adaptive_search(
+        profile, mode=args.mode, window=args.window, engine=engine
+    )
+    baseline = run_synchronous(profile, window=args.window, engine=engine)
 
     rows = []
     for key, result in sorted(
@@ -53,6 +102,11 @@ def main() -> None:
     print(
         f"program-adaptive improvement over the synchronous baseline: "
         f"{sweep.best_result.improvement_over(baseline) * 100:+.1f}%"
+    )
+    stats = engine.stats
+    print(
+        f"engine: {stats.jobs_submitted} jobs, {stats.simulations} simulated, "
+        f"{stats.jobs_avoided} served without simulation"
     )
 
 

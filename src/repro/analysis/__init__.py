@@ -29,6 +29,7 @@ _SWEEP_EXPORTS = {
     "run_program_adaptive",
     "run_synchronous",
     "compare_workload",
+    "compare_workloads",
     "default_control_params",
     "default_warmup",
     "make_trace",
@@ -60,6 +61,7 @@ __all__ = [
     "run_program_adaptive",
     "run_synchronous",
     "compare_workload",
+    "compare_workloads",
     "format_table",
     "improvement_table",
 ]

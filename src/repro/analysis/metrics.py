@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping
 
 from repro.clocks.time import Picoseconds
 
@@ -19,6 +19,15 @@ class ConfigurationChange:
     structure: str
     configuration: str
     index: int
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for the result cache's JSON files."""
+        return {spec.name: getattr(self, spec.name) for spec in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConfigurationChange":
+        """Rebuild an adaptation event from :meth:`to_dict` output."""
+        return cls(**data)
 
 
 @dataclass(slots=True)
@@ -118,6 +127,32 @@ class RunResult:
         time expressed as a speedup: ``baseline_time / this_time - 1``.
         """
         return relative_improvement(baseline, self)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form of the run, losslessly JSON-serialisable.
+
+        Used by the experiment engine's on-disk result cache; round-trips
+        through :meth:`from_dict` to an equal :class:`RunResult`.
+        """
+        data: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "configuration_changes":
+                value = [change.to_dict() for change in value]
+            elif isinstance(value, dict):
+                value = dict(value)
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a run record from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["configuration_changes"] = [
+            ConfigurationChange.from_dict(change)
+            for change in payload.get("configuration_changes", [])
+        ]
+        return cls(**payload)
 
     def summary(self) -> str:
         """Readable multi-line summary of the run."""

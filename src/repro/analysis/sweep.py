@@ -16,25 +16,38 @@ model the structures live in different clock domains and interact only
 weakly, so the factored search finds the same winner at a small fraction of
 the cost.  The exhaustive mode is retained for fidelity and for the
 benchmark harness's slow path.
+
+All simulation goes through the :mod:`repro.engine` subsystem: every runner
+builds :class:`~repro.engine.SimulationJob` descriptions and submits them to
+an :class:`~repro.engine.ExperimentEngine`, so candidate batches can execute
+on worker processes and identical (machine, workload, seed) combinations are
+served from the result cache instead of being re-simulated.  Pass ``engine=``
+to control placement and caching; the default is the process-wide engine
+(serial, in-memory cache) configured in :mod:`repro.engine`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Sequence
 
-from repro.analysis.metrics import RunResult, geometric_mean, relative_improvement
+from repro.analysis.metrics import RunResult, relative_improvement
 from repro.core.configuration import (
     AdaptiveConfigIndices,
-    MachineSpec,
     adaptive_configuration_space,
-    adaptive_mcd_spec,
-    best_overall_synchronous_spec,
     synchronous_configuration_space,
-    synchronous_spec,
 )
 from repro.core.controllers.params import AdaptiveControlParams
-from repro.core.processor import MCDProcessor
+from repro.engine import (
+    DEFAULT_TRACE_SEED,
+    ExperimentEngine,
+    SimulationJob,
+    SpecKind,
+    default_control_params,
+    default_engine,
+    default_warmup,
+    make_trace,
+)
 from repro.timing.tables import (
     ADAPTIVE_DCACHE_CONFIGS,
     ADAPTIVE_ICACHE_CONFIGS,
@@ -43,11 +56,24 @@ from repro.timing.tables import (
     OPTIMIZED_ICACHE_CONFIGS,
 )
 from repro.workloads.characteristics import WorkloadProfile
-from repro.workloads.generator import SyntheticTraceGenerator
 
-#: Default trace seed so every machine sees the identical dynamic instruction
-#: stream for a given workload.
-DEFAULT_TRACE_SEED = 1234
+__all__ = [
+    "DEFAULT_TRACE_SEED",
+    "SweepResult",
+    "WorkloadComparison",
+    "average_improvements",
+    "best_synchronous_configuration",
+    "compare_workload",
+    "compare_workloads",
+    "default_control_params",
+    "default_warmup",
+    "evaluate_configuration",
+    "make_trace",
+    "program_adaptive_search",
+    "run_phase_adaptive",
+    "run_program_adaptive",
+    "run_synchronous",
+]
 
 
 @dataclass(slots=True)
@@ -87,73 +113,82 @@ class WorkloadComparison:
 
 
 # ---------------------------------------------------------------------------
-# Run helpers
+# Job construction
 # ---------------------------------------------------------------------------
 
 
-def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
-    """A warm-up length long enough to populate the caches for *profile*.
-
-    Scales with the hot data footprint (so the measured window starts from a
-    warm hierarchy, standing in for the paper's fast-forward windows) and is
-    bounded so sweeps stay tractable.
-    """
-    window = window if window is not None else profile.simulation_window
-    memory_fraction = max(0.05, profile.load_fraction + profile.store_fraction)
-    hot_lines = profile.hot_data_kb * 1024 / 64
-    cold_lines = max(0.0, (profile.data_footprint_kb - profile.hot_data_kb) * 1024 / 64)
-    hot_rate = memory_fraction * max(profile.hot_data_fraction, 0.05)
-    cold_rate = memory_fraction * max(1.0 - profile.hot_data_fraction, 0.02)
-    # Factor ~2 approximates coupon-collector coverage of randomly touched lines.
-    needed = int(hot_lines / hot_rate * 1.3 + cold_lines / cold_rate * 2.0)
-    code_lines = profile.code_footprint_kb * 1024 / 64
-    needed = max(needed, int(code_lines * profile.block_size))
-    return int(min(100_000, max(6_000, needed)))
+def _resolve_engine(engine: ExperimentEngine | None) -> ExperimentEngine:
+    return engine if engine is not None else default_engine()
 
 
-def make_trace(profile: WorkloadProfile, seed: int = DEFAULT_TRACE_SEED):
-    """Build the deterministic trace generator for *profile*."""
-    return SyntheticTraceGenerator(profile, seed=seed)
-
-
-def default_control_params(window: int) -> AdaptiveControlParams:
-    """Control parameters scaled to a simulation window of *window* instructions.
-
-    The adaptation interval is one sixth of the window (minimum 500
-    instructions) so several adaptation decisions occur per run while each
-    interval still sees enough accesses to average out transients, and the
-    PLL lock time tracks the interval duration, preserving the paper's
-    "interval comparable to lock time" relationship under window scaling.
-    """
-    interval = max(500, window // 6)
-    return AdaptiveControlParams(interval_instructions=interval, pll_interval_scaled=True)
-
-
-def _execute(
-    spec: MachineSpec,
+def _synchronous_job(
     profile: WorkloadProfile,
+    indices: AdaptiveConfigIndices | None,
     *,
     window: int | None,
     warmup: int | None,
     trace_seed: int,
-    phase_adaptive: bool = False,
-    control: AdaptiveControlParams | None = None,
-    seed: int = 0,
-) -> RunResult:
-    window = window if window is not None else profile.simulation_window
-    warmup = warmup if warmup is not None else default_warmup(profile, window)
-    if phase_adaptive and control is None:
-        control = default_control_params(window)
-    processor = MCDProcessor(
-        spec, control=control, phase_adaptive=phase_adaptive, seed=seed
+    seed: int,
+) -> SimulationJob:
+    return SimulationJob(
+        profile=profile,
+        spec_kind=SpecKind.BEST_SYNCHRONOUS if indices is None else SpecKind.SYNCHRONOUS,
+        indices=indices,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
     )
-    trace = make_trace(profile, seed=trace_seed)
-    return processor.run(
-        trace.instructions(),
-        max_instructions=window,
-        warmup_instructions=warmup,
-        workload_name=profile.name,
+
+
+def _program_adaptive_job(
+    profile: WorkloadProfile,
+    indices: AdaptiveConfigIndices,
+    *,
+    window: int | None,
+    warmup: int | None,
+    trace_seed: int,
+    seed: int,
+) -> SimulationJob:
+    # Whole-program runs use only the A partitions: a miss in A goes straight
+    # to the next level of the hierarchy, as in the paper.
+    return SimulationJob(
+        profile=profile,
+        spec_kind=SpecKind.ADAPTIVE,
+        indices=indices,
+        use_b_partitions=False,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
     )
+
+
+def _phase_adaptive_job(
+    profile: WorkloadProfile,
+    *,
+    window: int | None,
+    warmup: int | None,
+    control: AdaptiveControlParams | None,
+    trace_seed: int,
+    seed: int,
+) -> SimulationJob:
+    return SimulationJob(
+        profile=profile,
+        spec_kind=SpecKind.BASE_ADAPTIVE,
+        use_b_partitions=True,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        phase_adaptive=True,
+        control=control,
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Single-machine runners
+# ---------------------------------------------------------------------------
 
 
 def run_synchronous(
@@ -164,6 +199,7 @@ def run_synchronous(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on a fully synchronous machine.
 
@@ -171,14 +207,10 @@ def run_synchronous(
     used (64 KB direct-mapped I-cache, 32 KB/256 KB direct-mapped D/L2 and
     16-entry issue queues).
     """
-    spec = (
-        best_overall_synchronous_spec()
-        if indices is None
-        else synchronous_spec(indices)
+    job = _synchronous_job(
+        profile, indices, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
     )
-    return _execute(
-        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
-    )
+    return _resolve_engine(engine).run(job)
 
 
 def run_program_adaptive(
@@ -189,16 +221,17 @@ def run_program_adaptive(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on the adaptive MCD machine fixed at *indices*.
 
     As in the paper's whole-program experiments, only the A partitions are
     used: a miss in A goes straight to the next level of the hierarchy.
     """
-    spec = adaptive_mcd_spec(indices, use_b_partitions=False)
-    return _execute(
-        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+    job = _program_adaptive_job(
+        profile, indices, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
     )
+    return _resolve_engine(engine).run(job)
 
 
 def run_phase_adaptive(
@@ -209,25 +242,22 @@ def run_phase_adaptive(
     control: AdaptiveControlParams | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on the phase-adaptive MCD machine.
 
     The machine starts in the base (smallest / fastest) configuration with B
     partitions enabled and the hardware controllers active.
     """
-    from repro.core.configuration import base_adaptive_spec
-
-    spec = base_adaptive_spec(use_b_partitions=True)
-    return _execute(
-        spec,
+    job = _phase_adaptive_job(
         profile,
         window=window,
         warmup=warmup,
-        trace_seed=trace_seed,
-        phase_adaptive=True,
         control=control,
+        trace_seed=trace_seed,
         seed=seed,
     )
+    return _resolve_engine(engine).run(job)
 
 
 def evaluate_configuration(
@@ -239,17 +269,30 @@ def evaluate_configuration(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate one explicit configuration point (adaptive or synchronous)."""
     if style == "adaptive":
-        spec = adaptive_mcd_spec(indices, use_b_partitions=False)
+        job = _program_adaptive_job(
+            profile,
+            indices,
+            window=window,
+            warmup=warmup,
+            trace_seed=trace_seed,
+            seed=seed,
+        )
     elif style == "synchronous":
-        spec = synchronous_spec(indices)
+        job = _synchronous_job(
+            profile,
+            indices,
+            window=window,
+            warmup=warmup,
+            trace_seed=trace_seed,
+            seed=seed,
+        )
     else:
         raise ValueError(f"unknown style {style!r}; use 'adaptive' or 'synchronous'")
-    return _execute(
-        spec, profile, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
-    )
+    return _resolve_engine(engine).run(job)
 
 
 # ---------------------------------------------------------------------------
@@ -277,6 +320,23 @@ def _factored_candidates(style: str) -> list[AdaptiveConfigIndices]:
     return candidates
 
 
+def _search_candidates(mode: str, style: str) -> list[AdaptiveConfigIndices]:
+    if mode == "exhaustive":
+        space = (
+            synchronous_configuration_space()
+            if style == "synchronous"
+            else adaptive_configuration_space()
+        )
+        candidates = list(space)
+    elif mode == "factored":
+        candidates = _factored_candidates(style)
+    else:
+        raise ValueError(f"unknown search mode {mode!r}")
+    # Defensive de-duplication (insertion order preserved) so the engine sees
+    # each distinct configuration exactly once per batch.
+    return list({c.describe(): c for c in candidates}.values())
+
+
 def program_adaptive_search(
     profile: WorkloadProfile,
     *,
@@ -285,20 +345,23 @@ def program_adaptive_search(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> SweepResult:
     """Find the best whole-program adaptive MCD configuration for *profile*.
 
     ``mode="exhaustive"`` evaluates all 256 configurations, as the paper did;
     ``mode="factored"`` (default) sweeps each structure independently around
     the base configuration, combines the per-structure winners, and verifies
-    the combination — 14-17 simulations instead of 256.
+    the combination — 14-17 simulations instead of 256.  The candidate batch
+    is submitted to the engine in one call, so a parallel executor spreads it
+    across workers.
     """
-    evaluated: dict[str, RunResult] = {}
+    eng = _resolve_engine(engine)
+    candidates = _search_candidates(mode, "adaptive")
 
-    def run(indices: AdaptiveConfigIndices) -> RunResult:
-        key = indices.describe()
-        if key not in evaluated:
-            evaluated[key] = run_program_adaptive(
+    def jobs_for(batch: Sequence[AdaptiveConfigIndices]) -> list[SimulationJob]:
+        return [
+            _program_adaptive_job(
                 profile,
                 indices,
                 window=window,
@@ -306,31 +369,23 @@ def program_adaptive_search(
                 trace_seed=trace_seed,
                 seed=seed,
             )
-        return evaluated[key]
+            for indices in batch
+        ]
 
-    if mode == "exhaustive":
-        candidates = list(adaptive_configuration_space())
-    elif mode == "factored":
-        candidates = _factored_candidates("adaptive")
-    else:
-        raise ValueError(f"unknown search mode {mode!r}")
-
-    for indices in candidates:
-        run(indices)
-
-    best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
-    best_indices = _indices_from_key(best_key)
+    results = eng.run_all(jobs_for(candidates))
+    evaluated = {
+        indices.describe(): result for indices, result in zip(candidates, results)
+    }
 
     if mode == "factored":
         combined = _combine_factored_winners(evaluated)
         if combined.describe() not in evaluated:
-            run(combined)
-        best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
-        best_indices = _indices_from_key(best_key)
+            evaluated[combined.describe()] = eng.run_all(jobs_for([combined]))[0]
 
+    best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
     return SweepResult(
         workload=profile.name,
-        best_indices=best_indices,
+        best_indices=_indices_from_key(best_key),
         best_result=evaluated[best_key],
         evaluated=evaluated,
     )
@@ -338,12 +393,7 @@ def program_adaptive_search(
 
 def _indices_from_key(key: str) -> AdaptiveConfigIndices:
     # Keys look like "ic1/dc2/iq16/fq32".
-    pieces = key.split("/")
-    icache = int(pieces[0][2:])
-    dcache = int(pieces[1][2:])
-    int_queue = int(pieces[2][2:])
-    fp_queue = int(pieces[3][2:])
-    return AdaptiveConfigIndices(icache, dcache, int_queue, fp_queue)
+    return AdaptiveConfigIndices.from_key(key)
 
 
 def _combine_factored_winners(evaluated: Mapping[str, RunResult]) -> AdaptiveConfigIndices:
@@ -404,33 +454,32 @@ def best_synchronous_configuration(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> tuple[AdaptiveConfigIndices, dict[str, float]]:
     """Find the fully synchronous configuration with the best overall performance.
 
     Returns the winning configuration and a mapping from configuration key to
     its average normalised run time across *profiles* (lower is better).  The
     exhaustive mode walks all 1 024 synchronous configurations; the factored
-    mode sweeps one structure at a time (28 configurations).
+    mode sweeps one structure at a time (28 configurations).  The whole
+    (profile × configuration) cross product is submitted as one engine batch.
     """
-    if mode == "exhaustive":
-        candidates = list(synchronous_configuration_space())
-    elif mode == "factored":
-        candidates = _factored_candidates("synchronous")
-    else:
-        raise ValueError(f"unknown search mode {mode!r}")
+    eng = _resolve_engine(engine)
+    candidates = _search_candidates(mode, "synchronous")
+
+    jobs = [
+        _synchronous_job(
+            profile, indices, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+        )
+        for profile in profiles
+        for indices in candidates
+    ]
+    results = eng.run_all(jobs)
 
     per_config_times: dict[str, list[float]] = {c.describe(): [] for c in candidates}
-    for profile in profiles:
+    for offset in range(0, len(jobs), len(candidates)):
         times: dict[str, float] = {}
-        for indices in candidates:
-            result = run_synchronous(
-                profile,
-                indices,
-                window=window,
-                warmup=warmup,
-                trace_seed=trace_seed,
-                seed=seed,
-            )
+        for indices, result in zip(candidates, results[offset : offset + len(candidates)]):
             times[indices.describe()] = result.execution_time_ps / max(
                 1, result.committed_instructions
             )
@@ -460,39 +509,126 @@ def compare_workload(
     control: AdaptiveControlParams | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    engine: ExperimentEngine | None = None,
 ) -> WorkloadComparison:
     """Run the full three-machine comparison for one workload (Figure 6 row)."""
-    synchronous = run_synchronous(
-        profile,
-        baseline_indices,
-        window=window,
-        warmup=warmup,
-        trace_seed=trace_seed,
-        seed=seed,
-    )
-    search = program_adaptive_search(
-        profile,
-        mode=search_mode,
-        window=window,
-        warmup=warmup,
-        trace_seed=trace_seed,
-        seed=seed,
-    )
-    phase = run_phase_adaptive(
-        profile,
+    return compare_workloads(
+        [profile],
+        baseline_indices=baseline_indices,
+        search_mode=search_mode,
         window=window,
         warmup=warmup,
         control=control,
         trace_seed=trace_seed,
         seed=seed,
-    )
-    return WorkloadComparison(
-        workload=profile.name,
-        synchronous=synchronous,
-        program_adaptive=search.best_result,
-        phase_adaptive=phase,
-        program_best_indices=search.best_indices,
-    )
+        engine=engine,
+    )[0]
+
+
+def compare_workloads(
+    profiles: Sequence[WorkloadProfile],
+    *,
+    baseline_indices: AdaptiveConfigIndices | None = None,
+    search_mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> list[WorkloadComparison]:
+    """Run the Figure 6 comparison for every workload in *profiles*.
+
+    All synchronous baselines, all Program-Adaptive search candidates and all
+    Phase-Adaptive runs — across every workload — are submitted to the engine
+    as one batch, so a parallel executor sees the full sweep at once.  A
+    second, much smaller batch evaluates the factored search's combined
+    winners where they were not already simulated.  Results are identical to
+    calling :func:`compare_workload` per profile.
+    """
+    eng = _resolve_engine(engine)
+    candidates = _search_candidates(search_mode, "adaptive")
+
+    jobs: list[SimulationJob] = []
+    for profile in profiles:
+        jobs.append(
+            _synchronous_job(
+                profile,
+                baseline_indices,
+                window=window,
+                warmup=warmup,
+                trace_seed=trace_seed,
+                seed=seed,
+            )
+        )
+        jobs.append(
+            _phase_adaptive_job(
+                profile,
+                window=window,
+                warmup=warmup,
+                control=control,
+                trace_seed=trace_seed,
+                seed=seed,
+            )
+        )
+        jobs.extend(
+            _program_adaptive_job(
+                profile,
+                indices,
+                window=window,
+                warmup=warmup,
+                trace_seed=trace_seed,
+                seed=seed,
+            )
+            for indices in candidates
+        )
+    results = eng.run_all(jobs)
+
+    stride = 2 + len(candidates)
+    evaluated_per_profile: list[dict[str, RunResult]] = []
+    combined_jobs: list[SimulationJob] = []
+    combined_slots: list[tuple[int, AdaptiveConfigIndices]] = []
+    for row, profile in enumerate(profiles):
+        offset = row * stride
+        evaluated = {
+            indices.describe(): result
+            for indices, result in zip(
+                candidates, results[offset + 2 : offset + stride]
+            )
+        }
+        evaluated_per_profile.append(evaluated)
+        if search_mode == "factored":
+            combined = _combine_factored_winners(evaluated)
+            if combined.describe() not in evaluated:
+                combined_slots.append((row, combined))
+                combined_jobs.append(
+                    _program_adaptive_job(
+                        profile,
+                        combined,
+                        window=window,
+                        warmup=warmup,
+                        trace_seed=trace_seed,
+                        seed=seed,
+                    )
+                )
+    for (row, combined), result in zip(combined_slots, eng.run_all(combined_jobs)):
+        evaluated_per_profile[row][combined.describe()] = result
+
+    comparisons: list[WorkloadComparison] = []
+    for row, profile in enumerate(profiles):
+        offset = row * stride
+        evaluated = evaluated_per_profile[row]
+        best_key = min(evaluated, key=lambda key: evaluated[key].execution_time_ps)
+        comparisons.append(
+            WorkloadComparison(
+                workload=profile.name,
+                synchronous=results[offset],
+                program_adaptive=evaluated[best_key],
+                phase_adaptive=results[offset + 1],
+                program_best_indices=_indices_from_key(best_key),
+            )
+        )
+    return comparisons
 
 
 def average_improvements(comparisons: Iterable[WorkloadComparison]) -> tuple[float, float]:

@@ -1,0 +1,124 @@
+"""Parallel experiment engine: jobs, executors and the result cache.
+
+The engine decouples *what* to simulate (:class:`SimulationJob`) from *how*
+(:class:`SerialExecutor` / :class:`ParallelExecutor`) and *whether it already
+ran* (:class:`ResultCache`).  The sweep layer submits jobs through an
+:class:`ExperimentEngine` instead of constructing processors inline, which
+makes every experiment driver batchable, parallelisable and memoised.
+
+A process-wide default engine backs the convenience ``engine=None`` paths in
+:mod:`repro.analysis.sweep`.  It is serial with an in-memory cache unless
+overridden programmatically (:func:`set_default_engine`,
+:func:`configure_default_engine`) or via environment variables:
+
+``REPRO_ENGINE_WORKERS``
+    Worker-process count for the default engine (``0``/``1`` = serial,
+    ``auto`` = one per available core).
+``REPRO_ENGINE_CACHE_DIR``
+    Directory for a persistent on-disk result cache.
+``REPRO_ENGINE_CACHE``
+    Set to ``0`` to disable result caching entirely.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.engine import EngineStats, ExperimentEngine
+from repro.engine.executors import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_worker_count,
+)
+from repro.engine.job import (
+    DEFAULT_TRACE_SEED,
+    SimulationJob,
+    SpecKind,
+    canonical_payload,
+    default_control_params,
+    default_warmup,
+    make_trace,
+)
+from repro.engine.runner import run_job, run_jobs
+
+__all__ = [
+    "CacheStats",
+    "DEFAULT_TRACE_SEED",
+    "EngineStats",
+    "Executor",
+    "ExperimentEngine",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "SimulationJob",
+    "SpecKind",
+    "canonical_payload",
+    "configure_default_engine",
+    "default_control_params",
+    "default_engine",
+    "default_warmup",
+    "default_worker_count",
+    "make_engine",
+    "make_trace",
+    "run_job",
+    "run_jobs",
+    "set_default_engine",
+]
+
+_default_engine: ExperimentEngine | None = None
+
+
+def make_engine(
+    *,
+    workers: int | str | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = True,
+) -> ExperimentEngine:
+    """Build an engine from simple knobs (the CLI/benchmark entry point).
+
+    ``workers`` accepts an int, ``"auto"`` (one worker per available core) or
+    ``None``/``0``/``1`` for serial execution.
+    """
+    if workers == "auto":
+        workers = default_worker_count()
+    workers = int(workers) if workers is not None else 1
+    executor = ParallelExecutor(max_workers=workers) if workers > 1 else SerialExecutor()
+    cache = ResultCache(cache_dir) if use_cache else None
+    return ExperimentEngine(executor, cache)
+
+
+def _engine_from_env() -> ExperimentEngine:
+    workers: int | str | None = os.environ.get("REPRO_ENGINE_WORKERS") or None
+    cache_dir = os.environ.get("REPRO_ENGINE_CACHE_DIR") or None
+    use_cache = os.environ.get("REPRO_ENGINE_CACHE", "1") != "0"
+    return make_engine(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+
+
+def default_engine() -> ExperimentEngine:
+    """The process-wide engine used when callers do not pass one."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = _engine_from_env()
+    return _default_engine
+
+
+def set_default_engine(engine: ExperimentEngine | None) -> ExperimentEngine | None:
+    """Replace the process-wide default engine; returns the previous one."""
+    global _default_engine
+    previous = _default_engine
+    _default_engine = engine
+    return previous
+
+
+def configure_default_engine(
+    *,
+    workers: int | str | None = None,
+    cache_dir: str | os.PathLike | None = None,
+    use_cache: bool = True,
+) -> ExperimentEngine:
+    """Build an engine from knobs and install it as the process default."""
+    engine = make_engine(workers=workers, cache_dir=cache_dir, use_cache=use_cache)
+    set_default_engine(engine)
+    return engine

@@ -1,0 +1,116 @@
+"""Deterministic result cache keyed by job fingerprint.
+
+The cache has two tiers: a process-local in-memory map (always consulted
+first) and an optional on-disk directory of JSON files, one per fingerprint,
+so repeated sweeps — including across interpreter sessions and experiment
+drivers — never re-simulate an identical configuration.  Simulations are
+deterministic functions of the job fingerprint, which is what makes caching
+sound.
+
+Stored results are returned as deep copies: :class:`RunResult` is mutable,
+and callers must never be able to corrupt the cache (or each other) through
+a shared instance.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.metrics import RunResult
+
+
+@dataclass(slots=True)
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache`."""
+
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups served without simulation."""
+        return self.memory_hits + self.disk_hits
+
+
+class ResultCache:
+    """Two-tier (memory + optional disk) store of :class:`RunResult` objects."""
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self._memory: dict[str, RunResult] = {}
+        self._directory = Path(directory) if directory is not None else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    @property
+    def directory(self) -> Path | None:
+        """On-disk location, or ``None`` for a memory-only cache."""
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        if fingerprint in self._memory:
+            return True
+        path = self._path(fingerprint)
+        return path is not None and path.exists()
+
+    def _path(self, fingerprint: str) -> Path | None:
+        if self._directory is None:
+            return None
+        return self._directory / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> RunResult | None:
+        """Return a copy of the cached result for *fingerprint*, if any."""
+        result = self._memory.get(fingerprint)
+        if result is not None:
+            self.stats.memory_hits += 1
+            return copy.deepcopy(result)
+        path = self._path(fingerprint)
+        if path is not None and path.exists():
+            try:
+                data = json.loads(path.read_text())
+                result = RunResult.from_dict(data["result"])
+            except (ValueError, KeyError, TypeError):
+                # A truncated or stale cache file is a miss, not an error.
+                return self._miss()
+            self._memory[fingerprint] = result
+            self.stats.disk_hits += 1
+            return copy.deepcopy(result)
+        return self._miss()
+
+    def _miss(self) -> None:
+        self.stats.misses += 1
+        return None
+
+    def put(self, fingerprint: str, result: RunResult) -> None:
+        """Store *result* under *fingerprint* (memory, then disk if enabled)."""
+        self._memory[fingerprint] = copy.deepcopy(result)
+        self.stats.stores += 1
+        path = self._path(fingerprint)
+        if path is None:
+            return
+        payload = {"fingerprint": fingerprint, "result": result.to_dict()}
+        # Write-then-rename keeps concurrent readers from seeing partial files.
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self._directory, prefix=".tmp-", suffix=".json", delete=False
+        )
+        try:
+            with handle:
+                json.dump(payload, handle)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+
+    def clear(self) -> None:
+        """Drop the in-memory tier (disk files are left in place)."""
+        self._memory.clear()

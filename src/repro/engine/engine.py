@@ -1,0 +1,89 @@
+"""The experiment engine: jobs in, cached deterministic results out.
+
+:class:`ExperimentEngine` composes an executor (placement) with a result
+cache (memoisation) and performs the batch bookkeeping both need: duplicate
+jobs inside one submission are simulated once, previously seen jobs are
+served from the cache, and everything comes back in submission order.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.metrics import RunResult
+from repro.engine.cache import ResultCache
+from repro.engine.executors import Executor, JobRunner, SerialExecutor
+from repro.engine.job import SimulationJob
+from repro.engine.runner import run_job
+
+
+@dataclass(slots=True)
+class EngineStats:
+    """Work accounting across an engine's lifetime."""
+
+    jobs_submitted: int = 0
+    simulations: int = 0
+    cache_hits: int = 0
+    batch_duplicates: int = 0
+
+    @property
+    def jobs_avoided(self) -> int:
+        """Submitted jobs that never reached the executor."""
+        return self.cache_hits + self.batch_duplicates
+
+
+class ExperimentEngine:
+    """Submit :class:`SimulationJob` batches; receive :class:`RunResult` lists."""
+
+    def __init__(
+        self,
+        executor: Executor | None = None,
+        cache: ResultCache | None = None,
+        *,
+        runner: JobRunner = run_job,
+    ) -> None:
+        self.executor = executor if executor is not None else SerialExecutor()
+        self.cache = cache
+        self.runner = runner
+        self.stats = EngineStats()
+
+    def run(self, job: SimulationJob) -> RunResult:
+        """Run one job (through the cache)."""
+        return self.run_all([job])[0]
+
+    def run_all(self, jobs: Sequence[SimulationJob]) -> list[RunResult]:
+        """Run *jobs*, returning results in submission order.
+
+        Identical jobs (by fingerprint) within the batch are simulated once;
+        jobs whose fingerprint is already cached are not simulated at all.
+        """
+        jobs = list(jobs)
+        self.stats.jobs_submitted += len(jobs)
+        results: list[RunResult | None] = [None] * len(jobs)
+        pending: dict[str, list[int]] = {}
+        for position, job in enumerate(jobs):
+            fingerprint = job.fingerprint()
+            if fingerprint in pending:
+                pending[fingerprint].append(position)
+                self.stats.batch_duplicates += 1
+                continue
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if cached is not None:
+                results[position] = cached
+                self.stats.cache_hits += 1
+            else:
+                pending[fingerprint] = [position]
+
+        unique_jobs = [jobs[positions[0]] for positions in pending.values()]
+        fresh = self.executor.run_jobs(unique_jobs, self.runner)
+        self.stats.simulations += len(unique_jobs)
+
+        for (fingerprint, positions), result in zip(pending.items(), fresh):
+            if self.cache is not None:
+                self.cache.put(fingerprint, result)
+            results[positions[0]] = result
+            for position in positions[1:]:
+                results[position] = copy.deepcopy(result)
+        return results  # type: ignore[return-value]

@@ -1,0 +1,112 @@
+"""Pluggable job executors for the experiment engine.
+
+Executors only order and place work; they never interpret it.  Both built-in
+executors preserve input order and run the same module-level runner, so a
+sweep produces bit-identical results whichever executor carries it (the
+simulations themselves are deterministic).
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from typing import Callable, Protocol, Sequence
+
+from repro.analysis.metrics import RunResult
+from repro.engine.job import SimulationJob
+
+JobRunner = Callable[[SimulationJob], RunResult]
+
+
+class Executor(Protocol):
+    """Minimal interface the engine requires of an executor."""
+
+    name: str
+
+    @property
+    def workers(self) -> int:
+        """Degree of parallelism the executor provides."""
+        ...
+
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> list[RunResult]:
+        """Run *jobs* through *runner*, returning results in input order."""
+        ...
+
+
+class SerialExecutor:
+    """Run every job in the calling process, one after another."""
+
+    name = "serial"
+
+    @property
+    def workers(self) -> int:
+        return 1
+
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> list[RunResult]:
+        return [runner(job) for job in jobs]
+
+
+def default_worker_count() -> int:
+    """Worker count used when none is requested: one per available core."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except AttributeError:  # platforms without sched_getaffinity
+        return max(1, os.cpu_count() or 1)
+
+
+class ParallelExecutor:
+    """Fan jobs out over a :class:`concurrent.futures.ProcessPoolExecutor`.
+
+    Jobs are shipped in chunks (``chunk_size``, default ~4 chunks per worker
+    per batch) to amortise pickling overhead.  Batches too small to benefit
+    from extra processes fall back to in-process execution.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        *,
+        chunk_size: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.max_workers = max_workers if max_workers is not None else default_worker_count()
+        self.chunk_size = chunk_size
+        self._start_method = start_method
+
+    @property
+    def workers(self) -> int:
+        return self.max_workers
+
+    def _context(self):
+        if self._start_method is not None:
+            return multiprocessing.get_context(self._start_method)
+        methods = multiprocessing.get_all_start_methods()
+        # Fork keeps warm-interpreter start-up cost out of the sweep; fall
+        # back to the platform default where fork is unavailable.
+        return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+    def _chunk_size(self, job_count: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        return max(1, math.ceil(job_count / (self.max_workers * 4)))
+
+    def run_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> list[RunResult]:
+        if self.max_workers == 1 or len(jobs) <= 1:
+            return SerialExecutor().run_jobs(jobs, runner)
+        workers = min(self.max_workers, len(jobs))
+        with _ProcessPool(max_workers=workers, mp_context=self._context()) as pool:
+            return list(pool.map(runner, jobs, chunksize=self._chunk_size(len(jobs))))

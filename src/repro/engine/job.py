@@ -1,0 +1,237 @@
+"""Simulation jobs: the unit of work of the experiment engine.
+
+A :class:`SimulationJob` bundles everything a worker needs to reproduce one
+run — the machine (named by construction recipe rather than a resolved
+:class:`~repro.core.configuration.MachineSpec`, so the payload stays tiny),
+the workload profile, the trace seed and the control parameters — plus a
+stable content fingerprint so identical runs are recognised across sweeps,
+experiment drivers, processes and sessions.
+
+This module also owns the run-parameter defaults (warm-up length, adaptation
+interval scaling, trace construction) that the sweep layer historically
+defined; :mod:`repro.analysis.sweep` re-exports them for compatibility.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Any, Mapping
+
+from repro.core.configuration import (
+    AdaptiveConfigIndices,
+    MachineSpec,
+    adaptive_mcd_spec,
+    base_adaptive_spec,
+    best_overall_synchronous_spec,
+    synchronous_spec,
+)
+from repro.core.controllers.params import AdaptiveControlParams
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.generator import SyntheticTraceGenerator
+
+#: Default trace seed so every machine sees the identical dynamic instruction
+#: stream for a given workload.
+DEFAULT_TRACE_SEED = 1234
+
+#: Part of every fingerprint; bump whenever *simulator* semantics change
+#: (processor, pipeline, cache or controller modelling) so persistent disk
+#: caches from older code are invalidated.  Machine-configuration changes
+#: (timing tables, spec fields) need no bump: the fingerprint hashes the
+#: fully resolved :class:`MachineSpec`, so those invalidate automatically.
+FINGERPRINT_VERSION = 1
+
+
+def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
+    """A warm-up length long enough to populate the caches for *profile*.
+
+    Scales with the hot data footprint (so the measured window starts from a
+    warm hierarchy, standing in for the paper's fast-forward windows) and is
+    bounded so sweeps stay tractable.
+    """
+    window = window if window is not None else profile.simulation_window
+    memory_fraction = max(0.05, profile.load_fraction + profile.store_fraction)
+    hot_lines = profile.hot_data_kb * 1024 / 64
+    cold_lines = max(0.0, (profile.data_footprint_kb - profile.hot_data_kb) * 1024 / 64)
+    hot_rate = memory_fraction * max(profile.hot_data_fraction, 0.05)
+    cold_rate = memory_fraction * max(1.0 - profile.hot_data_fraction, 0.02)
+    # Factor ~2 approximates coupon-collector coverage of randomly touched lines.
+    needed = int(hot_lines / hot_rate * 1.3 + cold_lines / cold_rate * 2.0)
+    code_lines = profile.code_footprint_kb * 1024 / 64
+    needed = max(needed, int(code_lines * profile.block_size))
+    return int(min(100_000, max(6_000, needed)))
+
+
+def default_control_params(window: int) -> AdaptiveControlParams:
+    """Control parameters scaled to a simulation window of *window* instructions.
+
+    The adaptation interval is one sixth of the window (minimum 500
+    instructions) so several adaptation decisions occur per run while each
+    interval still sees enough accesses to average out transients, and the
+    PLL lock time tracks the interval duration, preserving the paper's
+    "interval comparable to lock time" relationship under window scaling.
+    """
+    interval = max(500, window // 6)
+    return AdaptiveControlParams(interval_instructions=interval, pll_interval_scaled=True)
+
+
+def make_trace(profile: WorkloadProfile, seed: int = DEFAULT_TRACE_SEED):
+    """Build the deterministic trace generator for *profile*."""
+    return SyntheticTraceGenerator(profile, seed=seed)
+
+
+class SpecKind(str, enum.Enum):
+    """Recipe for rebuilding the machine spec inside a worker process."""
+
+    SYNCHRONOUS = "synchronous"
+    BEST_SYNCHRONOUS = "best_synchronous"
+    ADAPTIVE = "adaptive"
+    BASE_ADAPTIVE = "base_adaptive"
+
+
+_ADAPTIVE_KINDS = frozenset({SpecKind.ADAPTIVE, SpecKind.BASE_ADAPTIVE})
+
+
+def canonical_payload(value: Any) -> Any:
+    """Recursively convert *value* to plain JSON-stable data.
+
+    Dataclasses become field dicts (definition order), enums their values and
+    mappings key-sorted dicts, so two structurally equal objects always yield
+    byte-identical JSON.
+    """
+    if is_dataclass(value) and not isinstance(value, type):
+        return {
+            spec.name: canonical_payload(getattr(value, spec.name))
+            for spec in fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, Mapping):
+        converted = {
+            str(key.value if isinstance(key, enum.Enum) else key): item
+            for key, item in value.items()
+        }
+        return {key: canonical_payload(converted[key]) for key in sorted(converted)}
+    if isinstance(value, (list, tuple)):
+        return [canonical_payload(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot canonicalise {type(value).__name__} for fingerprinting")
+
+
+@dataclass(frozen=True, slots=True)
+class SimulationJob:
+    """One fully specified simulation run.
+
+    ``window``, ``warmup`` and ``control`` may be left ``None`` to inherit the
+    profile-derived defaults; fingerprints are computed over the *resolved*
+    values, so an explicit parameter equal to its default hits the same cache
+    entry.
+
+    ``spec_overrides`` patches individual :class:`MachineSpec` fields after
+    the recipe is built (``dataclasses.replace`` semantics) — how the
+    ablation drivers express hypothetical machines such as a shallower
+    misprediction penalty or synchronisation-free domain crossings.
+    """
+
+    profile: WorkloadProfile
+    spec_kind: SpecKind = SpecKind.ADAPTIVE
+    indices: AdaptiveConfigIndices | None = None
+    use_b_partitions: bool = False
+    spec_overrides: Mapping[str, Any] | None = None
+    window: int | None = None
+    warmup: int | None = None
+    trace_seed: int = DEFAULT_TRACE_SEED
+    phase_adaptive: bool = False
+    control: AdaptiveControlParams | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.spec_kind, SpecKind):
+            object.__setattr__(self, "spec_kind", SpecKind(self.spec_kind))
+        if self.phase_adaptive and self.spec_kind not in _ADAPTIVE_KINDS:
+            raise ValueError("phase-adaptive runs require an adaptive machine spec")
+        if self.window is not None and self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.warmup is not None and self.warmup < 0:
+            raise ValueError("warmup must be non-negative")
+        if self.spec_overrides is not None:
+            valid = {spec.name for spec in fields(MachineSpec)}
+            unknown = set(self.spec_overrides) - valid
+            if unknown:
+                raise ValueError(f"unknown MachineSpec fields: {sorted(unknown)}")
+            object.__setattr__(self, "spec_overrides", dict(self.spec_overrides))
+
+    # ------------------------------------------------------------ resolution
+
+    def resolved_window(self) -> int:
+        """Measured-instruction count after applying profile defaults."""
+        return self.window if self.window is not None else self.profile.simulation_window
+
+    def resolved_warmup(self) -> int:
+        """Warm-up instruction count after applying profile defaults."""
+        if self.warmup is not None:
+            return self.warmup
+        return default_warmup(self.profile, self.resolved_window())
+
+    def resolved_control(self) -> AdaptiveControlParams | None:
+        """Controller parameters actually passed to the processor."""
+        if self.phase_adaptive and self.control is None:
+            return default_control_params(self.resolved_window())
+        return self.control
+
+    def build_spec(self) -> MachineSpec:
+        """Rebuild the machine spec from the job's recipe."""
+        if self.spec_kind is SpecKind.SYNCHRONOUS:
+            spec = synchronous_spec(self.indices)
+        elif self.spec_kind is SpecKind.BEST_SYNCHRONOUS:
+            spec = best_overall_synchronous_spec()
+        elif self.spec_kind is SpecKind.ADAPTIVE:
+            spec = adaptive_mcd_spec(self.indices, use_b_partitions=self.use_b_partitions)
+        else:
+            spec = base_adaptive_spec(use_b_partitions=self.use_b_partitions)
+        if self.spec_overrides:
+            spec = dataclasses.replace(spec, **self.spec_overrides)
+        return spec
+
+    # ----------------------------------------------------------- fingerprint
+
+    def payload(self) -> dict[str, Any]:
+        """Canonical plain-data description of the job (resolved parameters).
+
+        The machine entry is the fully built :class:`MachineSpec` (every
+        field, overrides applied), not the construction recipe — so jobs
+        that resolve to the same machine share a fingerprint no matter how
+        they were expressed (``indices=None`` vs. the explicit base indices,
+        ``BEST_SYNCHRONOUS`` vs. the same explicit synchronous point), and a
+        timing-table recalibration changes the fingerprint and therefore
+        invalidates any persistent cache entry automatically.
+        """
+        return {
+            "version": FINGERPRINT_VERSION,
+            "profile": canonical_payload(self.profile),
+            "machine": canonical_payload(self.build_spec()),
+            "run": {
+                "window": self.resolved_window(),
+                "warmup": self.resolved_warmup(),
+                "trace_seed": self.trace_seed,
+                "phase_adaptive": self.phase_adaptive,
+                "control": canonical_payload(self.resolved_control()),
+                "seed": self.seed,
+            },
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this run across processes."""
+        encoded = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable label for logs and progress output."""
+        machine = self.spec_kind.value
+        if self.indices is not None:
+            machine = f"{machine}:{self.indices.describe()}"
+        return f"{self.profile.name}/{machine}/w{self.resolved_window()}"

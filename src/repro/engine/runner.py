@@ -1,0 +1,37 @@
+"""The engine-owned job runner: one :class:`SimulationJob` in, one result out.
+
+``run_job`` is a module-level function so executors can ship it to worker
+processes by reference; it reproduces exactly the construction sequence the
+sweep layer historically performed inline (spec build, controller defaults,
+deterministic trace, processor run).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.metrics import RunResult
+from repro.core.processor import MCDProcessor
+from repro.engine.job import SimulationJob, make_trace
+
+
+def run_job(job: SimulationJob) -> RunResult:
+    """Simulate *job* and return its :class:`RunResult`."""
+    processor = MCDProcessor(
+        job.build_spec(),
+        control=job.resolved_control(),
+        phase_adaptive=job.phase_adaptive,
+        seed=job.seed,
+    )
+    trace = make_trace(job.profile, seed=job.trace_seed)
+    return processor.run(
+        trace.instructions(),
+        max_instructions=job.resolved_window(),
+        warmup_instructions=job.resolved_warmup(),
+        workload_name=job.profile.name,
+    )
+
+
+def run_jobs(jobs: Iterable[SimulationJob]) -> list[RunResult]:
+    """Simulate *jobs* in order (convenience wrapper for scripts)."""
+    return [run_job(job) for job in jobs]

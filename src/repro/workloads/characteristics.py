@@ -47,6 +47,24 @@ class PhaseSpec:
             )
         object.__setattr__(self, "overrides", MappingProxyType(dict(self.overrides)))
 
+    def __reduce__(self):
+        # The read-only MappingProxyType wrapper is not picklable, which
+        # would bar profiles with phases from crossing process boundaries in
+        # the parallel experiment engine; rebuild from plain values instead.
+        return (PhaseSpec, (self.length, dict(self.overrides)))
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form (stable key order) for fingerprints and JSON."""
+        return {
+            "length": self.length,
+            "overrides": {key: self.overrides[key] for key in sorted(self.overrides)},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PhaseSpec":
+        """Rebuild a phase from :meth:`to_dict` output."""
+        return cls(length=data["length"], overrides=dict(data.get("overrides", {})))
+
 
 @dataclass(frozen=True, slots=True)
 class WorkloadProfile:
@@ -191,3 +209,26 @@ class WorkloadProfile:
             raise ValueError("scale factor must be positive")
         window = max(1_000, int(self.simulation_window * factor))
         return replace(self, simulation_window=window)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form of the profile, suitable for JSON and hashing.
+
+        Field order follows the dataclass definition so the output is stable
+        across processes; phases are expanded via :meth:`PhaseSpec.to_dict`.
+        """
+        data: dict[str, Any] = {}
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name == "phases":
+                value = [phase.to_dict() for phase in value]
+            data[spec.name] = value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadProfile":
+        """Rebuild a profile from :meth:`to_dict` output."""
+        payload = dict(data)
+        payload["phases"] = tuple(
+            PhaseSpec.from_dict(phase) for phase in payload.get("phases", ())
+        )
+        return cls(**payload)

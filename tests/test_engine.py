@@ -1,0 +1,336 @@
+"""Tests for the parallel experiment engine (jobs, executors, cache)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.sweep import (
+    compare_workload,
+    compare_workloads,
+    program_adaptive_search,
+    run_synchronous,
+)
+from repro.core.configuration import AdaptiveConfigIndices, best_overall_synchronous_spec
+from repro.core.processor import MCDProcessor
+from repro.engine import (
+    ExperimentEngine,
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    SimulationJob,
+    SpecKind,
+    make_engine,
+    make_trace,
+    run_job,
+)
+from repro.workloads import PhaseSpec, WorkloadProfile, full_suite
+
+
+@pytest.fixture(scope="module")
+def quick_profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        name="engine-quick", suite="test",
+        code_footprint_kb=4.0, inner_window_kb=2.0,
+        data_footprint_kb=48.0, hot_data_kb=12.0,
+        simulation_window=1_000,
+    )
+
+
+def _jobs(profile: WorkloadProfile) -> list[SimulationJob]:
+    common = dict(profile=profile, window=700, warmup=1200)
+    return [
+        SimulationJob(spec_kind=SpecKind.BEST_SYNCHRONOUS, **common),
+        SimulationJob(
+            spec_kind=SpecKind.ADAPTIVE, indices=AdaptiveConfigIndices(1, 0, 16, 16), **common
+        ),
+        SimulationJob(
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            **common,
+        ),
+        SimulationJob(
+            spec_kind=SpecKind.SYNCHRONOUS, indices=AdaptiveConfigIndices(2, 1, 32, 16), **common
+        ),
+    ]
+
+
+class TestSerialization:
+    def test_phase_spec_pickle_roundtrip(self):
+        phase = PhaseSpec(length=500, overrides={"load_fraction": 0.3})
+        clone = pickle.loads(pickle.dumps(phase))
+        assert clone == phase
+        assert dict(clone.overrides) == {"load_fraction": 0.3}
+
+    def test_every_suite_profile_is_picklable(self):
+        for profile in full_suite():
+            clone = pickle.loads(pickle.dumps(profile))
+            assert clone == profile
+
+    def test_workload_profile_dict_roundtrip(self):
+        profile = WorkloadProfile(
+            name="rt", suite="test",
+            phases=(PhaseSpec(length=400, overrides={"fp_fraction": 0.5}),),
+        )
+        assert WorkloadProfile.from_dict(profile.to_dict()) == profile
+
+    def test_indices_key_roundtrip(self):
+        indices = AdaptiveConfigIndices(2, 3, 48, 32)
+        assert AdaptiveConfigIndices.from_key(indices.describe()) == indices
+        with pytest.raises(ValueError):
+            AdaptiveConfigIndices.from_key("not/a/key")
+
+    def test_run_result_dict_roundtrip(self, quick_profile):
+        result = run_job(_jobs(quick_profile)[2])  # phase-adaptive: has changes
+        assert result.configuration_changes
+        assert RunResult.from_dict(result.to_dict()) == result
+
+
+class TestFingerprint:
+    def test_stable_across_equal_jobs(self, quick_profile):
+        a, b = _jobs(quick_profile)[0], _jobs(quick_profile)[0]
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_resolved_defaults_share_fingerprint(self, quick_profile):
+        implicit = SimulationJob(profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS)
+        explicit = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=quick_profile.simulation_window,
+        )
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_equivalent_recipes_share_fingerprint(self, quick_profile):
+        # The fingerprint hashes the fully built MachineSpec, so different
+        # recipes for the same machine dedup against each other.
+        implicit_base = SimulationJob(profile=quick_profile, spec_kind=SpecKind.ADAPTIVE)
+        explicit_base = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.ADAPTIVE,
+            indices=AdaptiveConfigIndices(0, 0, 16, 16),
+        )
+        assert implicit_base.fingerprint() == explicit_base.fingerprint()
+
+        best = SimulationJob(profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS)
+        explicit_best = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.SYNCHRONOUS,
+            indices=best.build_spec().indices,
+        )
+        assert best.fingerprint() == explicit_best.fingerprint()
+
+    def test_sensitive_to_every_dimension(self, quick_profile):
+        base = SimulationJob(profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS)
+        variants = [
+            SimulationJob(profile=quick_profile, spec_kind=SpecKind.BASE_ADAPTIVE),
+            SimulationJob(
+                profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS, window=555
+            ),
+            SimulationJob(
+                profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS, trace_seed=7
+            ),
+            SimulationJob(
+                profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS, seed=3
+            ),
+            SimulationJob(
+                profile=quick_profile.with_overrides(load_fraction=0.30),
+                spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            ),
+        ]
+        fingerprints = {base.fingerprint()} | {v.fingerprint() for v in variants}
+        assert len(fingerprints) == len(variants) + 1
+
+    def test_spec_overrides_change_fingerprint_and_spec(self, quick_profile):
+        base = SimulationJob(profile=quick_profile, spec_kind=SpecKind.ADAPTIVE)
+        shallow = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.ADAPTIVE,
+            spec_overrides={"mispredict_front_end_cycles": 9, "mispredict_integer_cycles": 7},
+        )
+        assert base.fingerprint() != shallow.fingerprint()
+        assert shallow.build_spec().mispredict_front_end_cycles == 9
+        assert base.build_spec().mispredict_front_end_cycles == 10
+        with pytest.raises(ValueError):
+            SimulationJob(
+                profile=quick_profile,
+                spec_kind=SpecKind.ADAPTIVE,
+                spec_overrides={"not_a_field": 1},
+            )
+
+    def test_phase_adaptive_requires_adaptive_spec(self, quick_profile):
+        with pytest.raises(ValueError):
+            SimulationJob(
+                profile=quick_profile,
+                spec_kind=SpecKind.SYNCHRONOUS,
+                indices=AdaptiveConfigIndices(),
+                phase_adaptive=True,
+            )
+
+
+class TestExecutors:
+    def test_parallel_matches_serial(self, quick_profile):
+        jobs = _jobs(quick_profile)
+        serial = SerialExecutor().run_jobs(jobs, run_job)
+        parallel = ParallelExecutor(max_workers=2).run_jobs(jobs, run_job)
+        assert serial == parallel
+
+    def test_parallel_single_worker_falls_back(self, quick_profile):
+        jobs = _jobs(quick_profile)[:1]
+        assert ParallelExecutor(max_workers=1).run_jobs(jobs, run_job) == [run_job(jobs[0])]
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(chunk_size=0)
+
+
+def _counting_engine(executor=None, cache=None):
+    calls = []
+
+    def counting_runner(job):
+        calls.append(job.fingerprint())
+        return run_job(job)
+
+    engine = ExperimentEngine(
+        executor if executor is not None else SerialExecutor(),
+        cache if cache is not None else ResultCache(),
+        runner=counting_runner,
+    )
+    return engine, calls
+
+
+class TestEngineAndCache:
+    def test_cache_hit_skips_resimulation_and_matches(self, quick_profile):
+        engine, calls = _counting_engine()
+        job = _jobs(quick_profile)[1]
+        first = engine.run(job)
+        second = engine.run(job)
+        assert len(calls) == 1
+        assert first == second
+        assert first is not second  # callers must not share a mutable result
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.simulations == 1
+
+    def test_batch_duplicates_simulated_once(self, quick_profile):
+        engine, calls = _counting_engine()
+        job = _jobs(quick_profile)[0]
+        results = engine.run_all([job, job, job])
+        assert len(calls) == 1
+        assert results[0] == results[1] == results[2]
+        assert results[0] is not results[1]
+        assert engine.stats.batch_duplicates == 2
+
+    def test_disk_cache_survives_engine_restart(self, quick_profile, tmp_path):
+        job = _jobs(quick_profile)[3]
+        first_engine = ExperimentEngine(SerialExecutor(), ResultCache(tmp_path))
+        original = first_engine.run(job)
+
+        engine, calls = _counting_engine(cache=ResultCache(tmp_path))
+        restored = engine.run(job)
+        assert not calls  # served from disk, no simulation
+        assert restored == original
+        assert engine.cache.stats.disk_hits == 1
+
+    def test_make_engine_knobs(self, tmp_path):
+        serial = make_engine(workers=1, use_cache=False)
+        assert isinstance(serial.executor, SerialExecutor)
+        assert serial.cache is None
+        parallel = make_engine(workers=3, cache_dir=tmp_path)
+        assert isinstance(parallel.executor, ParallelExecutor)
+        assert parallel.executor.workers == 3
+        assert parallel.cache.directory == tmp_path
+
+
+class TestSweepThroughEngine:
+    def test_run_synchronous_matches_direct_processor_path(self, quick_profile):
+        engine = ExperimentEngine(SerialExecutor(), ResultCache())
+        via_engine = run_synchronous(quick_profile, window=700, warmup=1200, engine=engine)
+
+        processor = MCDProcessor(
+            best_overall_synchronous_spec(), control=None, phase_adaptive=False, seed=0
+        )
+        trace = make_trace(quick_profile)
+        direct = processor.run(
+            trace.instructions(),
+            max_instructions=700,
+            warmup_instructions=1200,
+            workload_name=quick_profile.name,
+        )
+        assert via_engine == direct
+
+    def test_factored_search_agrees_with_direct_call_path(self, quick_profile):
+        engine = ExperimentEngine(SerialExecutor(), ResultCache())
+        sweep = program_adaptive_search(
+            quick_profile, window=700, warmup=1200, engine=engine
+        )
+        # Re-simulate the winner outside the engine, the way the seed code
+        # invoked the processor directly.
+        from repro.core.configuration import adaptive_mcd_spec
+
+        processor = MCDProcessor(
+            adaptive_mcd_spec(sweep.best_indices, use_b_partitions=False),
+            control=None,
+            phase_adaptive=False,
+            seed=0,
+        )
+        trace = make_trace(quick_profile)
+        direct = processor.run(
+            trace.instructions(),
+            max_instructions=700,
+            warmup_instructions=1200,
+            workload_name=quick_profile.name,
+        )
+        assert sweep.best_result == direct
+        best_time = sweep.best_result.execution_time_ps
+        assert all(
+            best_time <= result.execution_time_ps for result in sweep.evaluated.values()
+        )
+
+    def test_serial_and_parallel_sweeps_identical(self, quick_profile):
+        serial = compare_workloads(
+            [quick_profile],
+            window=700,
+            warmup=1200,
+            engine=ExperimentEngine(SerialExecutor(), ResultCache()),
+        )[0]
+        parallel = compare_workloads(
+            [quick_profile],
+            window=700,
+            warmup=1200,
+            engine=ExperimentEngine(ParallelExecutor(max_workers=2), ResultCache()),
+        )[0]
+        assert serial.synchronous == parallel.synchronous
+        assert serial.program_adaptive == parallel.program_adaptive
+        assert serial.phase_adaptive == parallel.phase_adaptive
+        assert serial.program_best_indices == parallel.program_best_indices
+
+    def test_batched_comparison_matches_single(self, quick_profile):
+        single = compare_workload(
+            quick_profile,
+            window=700,
+            warmup=1200,
+            engine=ExperimentEngine(SerialExecutor(), ResultCache()),
+        )
+        batched = compare_workloads(
+            [quick_profile],
+            window=700,
+            warmup=1200,
+            engine=ExperimentEngine(SerialExecutor(), ResultCache()),
+        )[0]
+        assert single.synchronous == batched.synchronous
+        assert single.program_adaptive == batched.program_adaptive
+        assert single.phase_adaptive == batched.phase_adaptive
+
+    def test_search_reuses_cache_across_drivers(self, quick_profile):
+        engine, calls = _counting_engine()
+        program_adaptive_search(quick_profile, window=700, warmup=1200, engine=engine)
+        simulated_once = len(calls)
+        # The comparison driver re-submits the same candidate jobs; only the
+        # synchronous baseline and the phase-adaptive run are new.
+        compare_workload(quick_profile, window=700, warmup=1200, engine=engine)
+        assert len(calls) == simulated_once + 2
