@@ -2,8 +2,11 @@
 
 The Figure 6 / Table 9 sweep runs through the experiment engine
 (:mod:`repro.engine`); the harness times it once per configured executor
-mode and appends the wall-clock numbers to ``BENCH_sweep.json`` at the repo
-root, so the sweep layer's performance trajectory is tracked across PRs.
+mode and records the wall-clocks through the :mod:`repro.bench` subsystem
+(schema, environment fingerprint, calibration) into ``BENCH_sweep.json`` at
+the repo root under the ``figure6_sweep`` experiment, so the sweep layer's
+performance trajectory is tracked across PRs in the same format as the
+``python -m repro.bench`` CLI.
 
 Environment variables scale the heavy experiments:
 
@@ -34,31 +37,24 @@ variables.)
 
 from __future__ import annotations
 
-import json
 import os
-import platform
 import time
 from pathlib import Path
 
 import pytest
 
 from repro.analysis.sweep import compare_workloads
+from repro.bench import BenchEntry, BenchRun, EnvironmentFingerprint, append_entry, calibrate
+from repro.bench.suites import FULL_SWEEP_WORKLOADS
 from repro.engine import ExperimentEngine, default_worker_count, make_engine
 from repro.workloads import full_suite, get_workload
 
 #: Representative subset: small media kernels, instruction-bound codes,
 #: memory-bound codes, FP codes and the strongly phased applications.
-DEFAULT_BENCH_WORKLOADS = (
-    "adpcm_encode", "adpcm_decode", "g721_encode", "jpeg_compress",
-    "mpeg2_encode", "gsm_encode", "ghostscript", "power",
-    "em3d", "health", "bzip2", "gcc", "vortex", "galgel", "apsi", "art",
-)
+DEFAULT_BENCH_WORKLOADS = FULL_SWEEP_WORKLOADS
 
 #: Where the sweep wall-clock trajectory is persisted (repo root).
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
-
-#: Recorded sweep entries kept per experiment (oldest dropped first).
-_BENCH_HISTORY_LIMIT = 50
 
 
 def bench_window() -> int:
@@ -113,29 +109,17 @@ def _comparisons_equal(left, right) -> bool:
     )
 
 
-def record_sweep_benchmark(experiment: str, entry: dict) -> None:
-    """Append *entry* under *experiment* in ``BENCH_sweep.json``."""
-    data: dict = {}
-    if BENCH_RESULTS_PATH.exists():
-        try:
-            data = json.loads(BENCH_RESULTS_PATH.read_text())
-        except ValueError:
-            data = {}
-    history = data.setdefault(experiment, [])
-    history.append(entry)
-    del history[:-_BENCH_HISTORY_LIMIT]
-    BENCH_RESULTS_PATH.write_text(json.dumps(data, indent=2) + "\n")
-
-
 @pytest.fixture(scope="session")
 def figure6_comparisons():
     """Run the three-machine comparison once per executor mode, record the
-    wall-clocks, and share the results across benches."""
+    wall-clocks through :mod:`repro.bench`, and share the results across
+    benches."""
     profiles = bench_workloads()
     window = bench_window()
     search_mode = bench_search_mode()
+    calibration = calibrate()
 
-    runs = []
+    runs: list[BenchRun] = []
     comparisons = None
     reference = None
     for mode in bench_modes():
@@ -146,13 +130,14 @@ def figure6_comparisons():
         )
         elapsed = time.perf_counter() - started
         runs.append(
-            {
-                "mode": mode,
-                "workers": engine.executor.workers,
-                "seconds": round(elapsed, 3),
-                "simulations": engine.stats.simulations,
-                "cache_hits": engine.stats.cache_hits,
-            }
+            BenchRun(
+                name=f"figure6_sweep_{mode}",
+                seconds=elapsed,
+                normalized=elapsed / calibration if calibration > 0 else 0.0,
+                simulations=engine.stats.simulations,
+                cache_hits=engine.stats.cache_hits,
+                extra={"workers": engine.executor.workers},
+            )
         )
         if reference is None:
             reference = comparisons
@@ -161,18 +146,30 @@ def figure6_comparisons():
                 f"executor mode {mode!r} produced different sweep results"
             )
 
-    entry = {
-        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    by_mode = {run.name: run.seconds for run in runs}
+    serial = by_mode.get("figure6_sweep_serial")
+    parallel = by_mode.get("figure6_sweep_parallel")
+    # parameters is the like-for-like comparison key of the regression
+    # checker, so it holds knobs only; measured outputs such as the
+    # parallel speedup go into the runs' extra payload.
+    parameters = {
         "window": window,
-        "workloads": len(profiles),
+        "warmup": None,
+        "workloads": [profile.name for profile in profiles],
         "search_mode": search_mode,
-        "cpus": default_worker_count(),
-        "python": platform.python_version(),
-        "runs": runs,
+        "harness": "pytest",
     }
-    by_mode = {run["mode"]: run["seconds"] for run in runs}
-    if "serial" in by_mode and "parallel" in by_mode and by_mode["parallel"] > 0:
-        entry["parallel_speedup"] = round(by_mode["serial"] / by_mode["parallel"], 3)
-    record_sweep_benchmark("figure6_sweep", entry)
+    if serial and parallel:
+        for run in runs:
+            if run.name == "figure6_sweep_parallel":
+                run.extra["parallel_speedup"] = round(serial / parallel, 3)
+    entry = BenchEntry(
+        suite="sweep",
+        environment=EnvironmentFingerprint.collect(),
+        calibration_seconds=calibration,
+        parameters=parameters,
+        runs=runs,
+    )
+    append_entry(BENCH_RESULTS_PATH, entry, experiment="figure6_sweep")
 
     return comparisons

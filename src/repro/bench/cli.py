@@ -1,0 +1,178 @@
+"""``python -m repro.bench`` — run benchmark suites and guard regressions.
+
+Examples::
+
+    python -m repro.bench                       # all suites, full size
+    python -m repro.bench --quick               # CI-sized parameterisation
+    python -m repro.bench --suite sweep --quick # one suite
+    python -m repro.bench --quick --check       # fail (exit 1) on regression
+    python -m repro.bench --quick --update-baseline
+
+Every invocation appends one entry per suite to ``BENCH_<suite>.json`` at
+the repository root (disable with ``--no-record``).  ``--check`` compares the
+fresh entries against the committed baseline (``benchmarks/baseline.json``):
+raw seconds when the environment fingerprint matches the baseline's, the
+calibration-normalised metric otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.bench.baseline import (
+    DEFAULT_TOLERANCE,
+    compare_entries,
+    load_baseline,
+    save_baseline,
+)
+from repro.bench.recording import append_entry, bench_file_for_suite, default_output_dir
+from repro.bench.schema import BenchEntry
+from repro.bench.suites import SUITES, run_suite
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the repository's benchmark suites and check for regressions.",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=sorted(SUITES) + ["all"],
+        help="suite to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized parameterisation (small windows, few workloads)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed baseline and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed slow-down before failing (default {DEFAULT_TOLERANCE:.2f} = "
+        f"{DEFAULT_TOLERANCE:.0%})",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: <repo>/benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="write the fresh entries into the baseline file",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="also time the parallel executor with this many workers (sweep suite)",
+    )
+    parser.add_argument(
+        "--no-record",
+        action="store_true",
+        help="do not append entries to the BENCH_*.json history files",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=None,
+        help="directory for BENCH_*.json files (default: repository root)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="with --check, fail when a suite cannot be compared (missing or "
+        "mismatched baseline) instead of skipping it",
+    )
+    return parser.parse_args(argv)
+
+
+def _resolve_suites(selected: list[str] | None) -> list[str]:
+    if not selected or "all" in selected:
+        return sorted(SUITES)
+    ordered: list[str] = []
+    for name in selected:
+        if name not in ordered:
+            ordered.append(name)
+    return ordered
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parse_args(argv)
+    if args.tolerance < 0:
+        print("error: --tolerance must be non-negative", file=sys.stderr)
+        return 2
+    suites = _resolve_suites(args.suite)
+    output_dir = args.output_dir if args.output_dir is not None else default_output_dir()
+    baseline_path = (
+        args.baseline if args.baseline is not None else output_dir / "benchmarks" / "baseline.json"
+    )
+
+    entries: dict[str, BenchEntry] = {}
+    for name in suites:
+        print(f"[bench] running suite {name!r} ({'quick' if args.quick else 'full'})...")
+        entry = run_suite(name, quick=args.quick, workers=args.workers)
+        entries[name] = entry
+        for run in entry.runs:
+            print(
+                f"[bench]   {run.name}: {run.seconds:.2f}s "
+                f"({run.simulations} simulations, {run.cache_hits} cache hits, "
+                f"{run.normalized:.1f} calibration units)"
+            )
+        if not args.no_record:
+            path = bench_file_for_suite(name, output_dir)
+            append_entry(path, entry)
+            print(f"[bench]   recorded -> {path}")
+
+    failures = 0
+    if args.check or args.update_baseline:
+        baseline = load_baseline(baseline_path) if baseline_path.exists() else {}
+        if args.check:
+            for name, entry in entries.items():
+                reference = baseline.get(name)
+                if reference is None:
+                    print(f"[bench] {name}: no committed baseline at {baseline_path}; skipping")
+                    if args.strict:
+                        failures += 1
+                    continue
+                try:
+                    regressions = compare_entries(
+                        entry, reference, tolerance=args.tolerance
+                    )
+                except ValueError as error:
+                    print(f"[bench] {name}: cannot compare against baseline: {error}")
+                    if args.strict:
+                        failures += 1
+                    continue
+                metric = (
+                    "seconds"
+                    if entry.environment.is_comparable_to(reference.environment)
+                    else "normalized (environment differs from baseline)"
+                )
+                if regressions:
+                    failures += len(regressions)
+                    for regression in regressions:
+                        print(f"[bench] REGRESSION {regression.describe()}")
+                else:
+                    print(f"[bench] {name}: within tolerance (metric: {metric})")
+        if args.update_baseline:
+            baseline.update(entries)
+            save_baseline(baseline_path, baseline)
+            print(f"[bench] baseline updated -> {baseline_path}")
+
+    if failures:
+        print(f"[bench] FAILED: {failures} regression(s) beyond tolerance", file=sys.stderr)
+        return 1
+    return 0

@@ -1,0 +1,83 @@
+"""Environment fingerprinting for benchmark entries.
+
+Wall-clock numbers are only comparable between runs on equivalent hardware
+and interpreters.  Every benchmark entry therefore embeds an
+:class:`EnvironmentFingerprint`; the regression checker compares raw seconds
+only when the fingerprints' :meth:`~EnvironmentFingerprint.comparable_key`
+match, and falls back to the calibration-normalised metric otherwise.
+
+The fingerprint is deliberately stable: collecting it twice in the same
+process (or across processes on the same machine) yields the same value.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+from dataclasses import asdict, dataclass, fields
+from typing import Any, Mapping
+
+
+def _cpu_model() -> str:
+    """Best-effort CPU model string (stable on a given machine)."""
+    try:
+        with open("/proc/cpuinfo", "r", encoding="utf-8") as handle:
+            for line in handle:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return platform.processor() or platform.machine() or "unknown"
+
+
+@dataclass(frozen=True, slots=True)
+class EnvironmentFingerprint:
+    """Identity of the machine and interpreter a benchmark ran under."""
+
+    python_version: str
+    python_implementation: str
+    system: str
+    machine: str
+    cpu_model: str
+    cpu_count: int
+
+    @classmethod
+    def collect(cls) -> "EnvironmentFingerprint":
+        """Fingerprint the current process's environment."""
+        return cls(
+            python_version=platform.python_version(),
+            python_implementation=platform.python_implementation(),
+            system=platform.system(),
+            machine=platform.machine(),
+            cpu_model=_cpu_model(),
+            cpu_count=os.cpu_count() or 1,
+        )
+
+    def comparable_key(self) -> tuple[str, ...]:
+        """Key under which raw wall-clock seconds are comparable."""
+        return (
+            self.python_version,
+            self.python_implementation,
+            self.system,
+            self.machine,
+            self.cpu_model,
+            str(self.cpu_count),
+        )
+
+    def is_comparable_to(self, other: "EnvironmentFingerprint") -> bool:
+        """True when raw seconds from *other* can be compared to ours."""
+        return self.comparable_key() == other.comparable_key()
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendering for JSON storage."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EnvironmentFingerprint":
+        """Rebuild a fingerprint from :meth:`to_dict` output."""
+        known = {spec.name for spec in fields(cls)}
+        payload = {key: data[key] for key in known if key in data}
+        missing = known - set(payload)
+        if missing:
+            raise ValueError(f"environment fingerprint missing fields: {sorted(missing)}")
+        return cls(**payload)

@@ -1,0 +1,146 @@
+"""The JSON schema of one benchmark entry.
+
+A ``BENCH_<suite>.json`` file maps experiment names to lists of entries
+(oldest first).  Each entry is one invocation of a suite and carries:
+
+* ``schema`` — integer schema version (:data:`SCHEMA_VERSION`),
+* ``suite`` — the suite name (``fig2`` / ``fig6`` / ``sweep`` / ...),
+* ``timestamp`` — ISO-8601 local time,
+* ``environment`` — :class:`~repro.bench.environment.EnvironmentFingerprint`,
+* ``calibration_seconds`` — host-speed calibration for the normalised metric,
+* ``parameters`` — the knobs the suite ran with (window, warm-up, workloads,
+  search mode, executor workers) so entries are only compared like-for-like,
+* ``runs`` — one :class:`BenchRun` per timed measurement.
+
+``validate_entry`` checks a plain dict against this schema and is used both
+by the loader (defensively) and by the test suite's round-trip checks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.bench.environment import EnvironmentFingerprint
+
+#: Version of the on-disk entry layout.  Bump on incompatible changes.
+SCHEMA_VERSION = 1
+
+
+@dataclass(slots=True)
+class BenchRun:
+    """One timed measurement inside an entry."""
+
+    name: str
+    seconds: float
+    #: Seconds divided by the entry's calibration time — a hardware-normalised
+    #: cost in "calibration units" comparable across (reasonably similar)
+    #: hosts.
+    normalized: float = 0.0
+    simulations: int = 0
+    cache_hits: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendering for JSON storage."""
+        payload: dict[str, Any] = {
+            "name": self.name,
+            "seconds": round(self.seconds, 4),
+            "normalized": round(self.normalized, 4),
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+        }
+        if self.extra:
+            payload["extra"] = dict(self.extra)
+        return payload
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchRun":
+        """Rebuild a run from :meth:`to_dict` output."""
+        return cls(
+            name=str(data["name"]),
+            seconds=float(data["seconds"]),
+            normalized=float(data.get("normalized", 0.0)),
+            simulations=int(data.get("simulations", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+@dataclass(slots=True)
+class BenchEntry:
+    """One suite invocation: environment, parameters and timed runs."""
+
+    suite: str
+    environment: EnvironmentFingerprint
+    calibration_seconds: float
+    parameters: dict[str, Any] = field(default_factory=dict)
+    runs: list[BenchRun] = field(default_factory=list)
+    timestamp: str = ""
+    schema: int = SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        if not self.timestamp:
+            self.timestamp = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed wall-clock of every run in the entry."""
+        return sum(run.seconds for run in self.runs)
+
+    def run_named(self, name: str) -> BenchRun | None:
+        """The run called *name*, or ``None``."""
+        for run in self.runs:
+            if run.name == name:
+                return run
+        return None
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data rendering for JSON storage."""
+        return {
+            "schema": self.schema,
+            "suite": self.suite,
+            "timestamp": self.timestamp,
+            "environment": self.environment.to_dict(),
+            "calibration_seconds": round(self.calibration_seconds, 6),
+            "parameters": dict(self.parameters),
+            "runs": [run.to_dict() for run in self.runs],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BenchEntry":
+        """Rebuild an entry from :meth:`to_dict` output (validating it)."""
+        validate_entry(data)
+        return cls(
+            suite=str(data["suite"]),
+            environment=EnvironmentFingerprint.from_dict(data["environment"]),
+            calibration_seconds=float(data["calibration_seconds"]),
+            parameters=dict(data.get("parameters", {})),
+            runs=[BenchRun.from_dict(run) for run in data.get("runs", [])],
+            timestamp=str(data["timestamp"]),
+            schema=int(data["schema"]),
+        )
+
+
+def validate_entry(data: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` if *data* does not look like a benchmark entry."""
+    if not isinstance(data, Mapping):
+        raise ValueError(f"benchmark entry must be a mapping, got {type(data).__name__}")
+    required = ("schema", "suite", "timestamp", "environment", "calibration_seconds", "runs")
+    missing = [key for key in required if key not in data]
+    if missing:
+        raise ValueError(f"benchmark entry missing keys: {missing}")
+    if int(data["schema"]) > SCHEMA_VERSION:
+        raise ValueError(
+            f"benchmark entry schema {data['schema']} is newer than supported "
+            f"({SCHEMA_VERSION})"
+        )
+    if not isinstance(data["runs"], Sequence) or isinstance(data["runs"], (str, bytes)):
+        raise ValueError("benchmark entry 'runs' must be a sequence")
+    for run in data["runs"]:
+        if not isinstance(run, Mapping) or "name" not in run or "seconds" not in run:
+            raise ValueError(f"malformed benchmark run: {run!r}")
+        if float(run["seconds"]) < 0:
+            raise ValueError(f"benchmark run has negative seconds: {run!r}")
+    EnvironmentFingerprint.from_dict(data["environment"])

@@ -1,0 +1,195 @@
+"""The benchmark suites: fig2, fig6 and the Figure 6 / Table 9 sweep.
+
+Each suite builds the relevant experiment out of the :mod:`repro.engine`
+subsystem, times it with a fresh in-memory result cache (so wall-clocks
+measure simulation, not cache luck), and returns a fully populated
+:class:`~repro.bench.schema.BenchEntry`.
+
+Every suite has a ``--quick`` parameterisation small enough for CI and a
+full one for workstation runs; the parameters are recorded in the entry so
+the regression checker never compares quick numbers against full ones.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.analysis.sweep import compare_workload, compare_workloads, evaluate_configuration
+from repro.bench.environment import EnvironmentFingerprint
+from repro.bench.schema import BenchEntry, BenchRun
+from repro.bench.timer import calibrate, timed
+from repro.core.configuration import AdaptiveConfigIndices
+from repro.engine import ExperimentEngine, make_engine
+from repro.timing.tables import ADAPTIVE_DCACHE_CONFIGS
+from repro.workloads import get_workload
+
+#: Workload subset for the quick sweep: an instruction-bound code, a
+#: memory-bound code, a strongly phased application and an FP code.
+QUICK_SWEEP_WORKLOADS = ("gcc", "em3d", "adpcm_encode", "apsi")
+
+#: Representative 16-application subset used by the full sweep (matches the
+#: benchmark harness's historical default).
+FULL_SWEEP_WORKLOADS = (
+    "adpcm_encode", "adpcm_decode", "g721_encode", "jpeg_compress",
+    "mpeg2_encode", "gsm_encode", "ghostscript", "power",
+    "em3d", "health", "bzip2", "gcc", "vortex", "galgel", "apsi", "art",
+)
+
+
+def _fresh_engine(workers: int) -> ExperimentEngine:
+    return make_engine(workers=workers, use_cache=True)
+
+
+def _entry(
+    suite: str,
+    parameters: dict[str, Any],
+    runs: list[BenchRun],
+    calibration: float,
+) -> BenchEntry:
+    for run in runs:
+        run.normalized = run.seconds / calibration if calibration > 0 else 0.0
+    return BenchEntry(
+        suite=suite,
+        environment=EnvironmentFingerprint.collect(),
+        calibration_seconds=calibration,
+        parameters=parameters,
+        runs=runs,
+    )
+
+
+def run_fig2_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time the D-cache configuration sweep behind Figure 2 (one workload)."""
+    window, warmup = (1_500, 2_500) if quick else (6_000, 20_000)
+    profile = get_workload("em3d")
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "workload": profile.name,
+        "configurations": len(ADAPTIVE_DCACHE_CONFIGS),
+    }
+
+    engine = _fresh_engine(workers)
+
+    def sweep_dcache() -> None:
+        for index in range(len(ADAPTIVE_DCACHE_CONFIGS)):
+            evaluate_configuration(
+                profile,
+                AdaptiveConfigIndices(dcache_index=index),
+                window=window,
+                warmup=warmup,
+                engine=engine,
+            )
+
+    calibration = calibrate()
+    _, seconds = timed(sweep_dcache)
+    runs = [
+        BenchRun(
+            name="dcache_config_sweep",
+            seconds=seconds,
+            simulations=engine.stats.simulations,
+            cache_hits=engine.stats.cache_hits,
+        )
+    ]
+    return _entry("fig2", parameters, runs, calibration)
+
+
+def run_fig6_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time one full three-machine Figure 6 comparison (one workload)."""
+    window, warmup = (2_000, 3_000) if quick else (8_000, 20_000)
+    profile = get_workload("gcc")
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "workload": profile.name,
+        "search_mode": "factored",
+    }
+
+    engine = _fresh_engine(workers)
+    calibration = calibrate()
+    _, seconds = timed(
+        compare_workload,
+        profile,
+        search_mode="factored",
+        window=window,
+        warmup=warmup,
+        engine=engine,
+    )
+    runs = [
+        BenchRun(
+            name="three_machine_comparison",
+            seconds=seconds,
+            simulations=engine.stats.simulations,
+            cache_hits=engine.stats.cache_hits,
+        )
+    ]
+    return _entry("fig6", parameters, runs, calibration)
+
+
+def run_sweep_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time the multi-workload Figure 6 / Table 9 sweep (the headline bench).
+
+    Always times the serial executor (the stable, CI-comparable number); when
+    *workers* > 1 a second timed run exercises the parallel executor as well.
+    """
+    window, warmup = (2_000, 3_000) if quick else (6_000, 20_000)
+    names = QUICK_SWEEP_WORKLOADS if quick else FULL_SWEEP_WORKLOADS
+    profiles = tuple(get_workload(name) for name in names)
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "workloads": list(names),
+        "search_mode": "factored",
+    }
+
+    calibration = calibrate()
+    runs: list[BenchRun] = []
+    modes: list[tuple[str, int]] = [("serial", 1)]
+    if workers > 1:
+        modes.append(("parallel", workers))
+    reference = None
+    for mode, mode_workers in modes:
+        engine = _fresh_engine(mode_workers)
+        comparisons, seconds = timed(
+            compare_workloads,
+            profiles,
+            search_mode="factored",
+            window=window,
+            warmup=warmup,
+            engine=engine,
+        )
+        if reference is None:
+            reference = comparisons
+        elif [c.workload for c in comparisons] != [c.workload for c in reference] or any(
+            a.synchronous != b.synchronous for a, b in zip(comparisons, reference)
+        ):
+            raise AssertionError(f"executor mode {mode!r} produced different sweep results")
+        runs.append(
+            BenchRun(
+                name=f"figure6_sweep_{mode}",
+                seconds=seconds,
+                simulations=engine.stats.simulations,
+                cache_hits=engine.stats.cache_hits,
+                extra={"workers": mode_workers},
+            )
+        )
+    return _entry("sweep", parameters, runs, calibration)
+
+
+#: Registry of available suites.
+SUITES: dict[str, Callable[..., BenchEntry]] = {
+    "fig2": run_fig2_suite,
+    "fig6": run_fig6_suite,
+    "sweep": run_sweep_suite,
+}
+
+
+def run_suite(name: str, *, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Run one registered suite by name."""
+    try:
+        suite = SUITES[name]
+    except KeyError:
+        raise ValueError(f"unknown bench suite {name!r}; available: {sorted(SUITES)}")
+    return suite(quick=quick, workers=workers)

@@ -1,0 +1,46 @@
+"""Wall-clock timing and host-speed calibration.
+
+``timed`` measures one callable with ``time.perf_counter``.  ``calibrate``
+times a fixed pure-Python workload and returns its best-of-N seconds; the
+suites divide measured wall-clocks by this number to produce a
+hardware-normalised metric (``normalized``), which is what the regression
+checker uses when two entries come from non-identical environments.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, TypeVar
+
+T = TypeVar("T")
+
+#: Iterations of the calibration kernel (fixed forever so the normalised
+#: metric stays comparable across history).
+_CALIBRATION_ITERATIONS = 200_000
+
+
+def _calibration_kernel() -> int:
+    """A fixed integer-arithmetic spin representative of interpreter speed."""
+    acc = 0
+    for index in range(_CALIBRATION_ITERATIONS):
+        acc = (acc * 31 + index) % 1_000_003
+    return acc
+
+
+def calibrate(repeats: int = 5) -> float:
+    """Seconds for the fixed calibration kernel (best of *repeats*)."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        _calibration_kernel()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def timed(fn: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
+    started = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - started

@@ -82,13 +82,18 @@ class SetAssociativeCache:
 
     def lookup(self, address: int) -> int:
         """Access *address*; return the block's previous MRU position (-1 on miss)."""
-        index = self.set_index(address)
-        position = self._sets[index].access(self.tag(address))
-        self.stats.accesses += 1
+        # One combined block/index/tag computation: this is the innermost
+        # operation of every cache access, so the separate set_index()/tag()
+        # helpers (two extra calls and divisions) are folded in here.
+        block = address // self._block_bytes
+        num_sets = self._num_sets
+        position = self._sets[block % num_sets].access(block // num_sets)
+        stats = self.stats
+        stats.accesses += 1
         if position < 0:
-            self.stats.misses += 1
+            stats.misses += 1
         else:
-            self.stats.hits += 1
+            stats.hits += 1
         return position
 
     def probe(self, address: int) -> int:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import zlib
 
 from repro.clocks.time import Picoseconds, ghz_to_period_ps, period_ps_to_ghz
 
@@ -18,6 +19,13 @@ class DomainClock:
     new period takes effect from the *next* edge onward, which models a PLL
     that re-locks while the domain continues operating (XScale-style, as
     assumed in the paper).
+
+    ``next_edge``, ``period_ps``, ``cycle_count`` and ``jitter_fraction`` are
+    plain attributes (not properties): the simulator's main loop reads them
+    every iteration, and attribute reads are several times cheaper than
+    property calls.  Treat them as read-only outside this class — frequency
+    changes must go through :meth:`set_frequency` / :meth:`set_period_ps` and
+    edge consumption through :meth:`advance`.
 
     Parameters
     ----------
@@ -35,6 +43,8 @@ class DomainClock:
         Time of the first edge.
     """
 
+    __slots__ = ("name", "period_ps", "jitter_fraction", "next_edge", "cycle_count", "_rng")
+
     def __init__(
         self,
         name: str,
@@ -47,54 +57,55 @@ class DomainClock:
         if jitter_fraction < 0 or jitter_fraction >= 0.5:
             raise ValueError("jitter_fraction must be in [0, 0.5)")
         self.name = name
-        self._period_ps = ghz_to_period_ps(frequency_ghz)
-        self._jitter_fraction = jitter_fraction
-        self._rng = random.Random(seed ^ hash(name) & 0xFFFFFFFF)
-        self._next_edge: Picoseconds = start_time_ps
-        self._cycle_count = 0
+        self.period_ps = ghz_to_period_ps(frequency_ghz)
+        self.jitter_fraction = jitter_fraction
+        # crc32, not hash(): str hashing is salted per process, which would
+        # make jittered clocks non-reproducible across interpreter runs.
+        self._rng = random.Random(seed ^ zlib.crc32(name.encode()))
+        self.next_edge: Picoseconds = start_time_ps
+        self.cycle_count = 0
 
     # ------------------------------------------------------------------ API
 
     @property
     def frequency_ghz(self) -> float:
         """Current frequency in GHz."""
-        return period_ps_to_ghz(self._period_ps)
-
-    @property
-    def period_ps(self) -> Picoseconds:
-        """Current clock period in picoseconds."""
-        return self._period_ps
-
-    @property
-    def next_edge(self) -> Picoseconds:
-        """Time of the next clock edge (the edge that has not yet ticked)."""
-        return self._next_edge
-
-    @property
-    def cycle_count(self) -> int:
-        """Number of edges that have been consumed via :meth:`advance`."""
-        return self._cycle_count
+        return period_ps_to_ghz(self.period_ps)
 
     def set_frequency(self, frequency_ghz: float) -> None:
         """Change the clock frequency, effective from the next edge onward."""
-        self._period_ps = ghz_to_period_ps(frequency_ghz)
+        self.period_ps = ghz_to_period_ps(frequency_ghz)
 
     def set_period_ps(self, period_ps: Picoseconds) -> None:
         """Change the clock period directly, effective from the next edge."""
         if period_ps <= 0:
             raise ValueError("period must be positive")
-        self._period_ps = period_ps
+        self.period_ps = period_ps
 
     def advance(self) -> Picoseconds:
         """Consume the current edge and return the time of the following one."""
-        self._cycle_count += 1
-        step = self._period_ps
-        if self._jitter_fraction:
-            half = self._jitter_fraction / 2.0
+        self.cycle_count += 1
+        step = self.period_ps
+        if self.jitter_fraction:
+            half = self.jitter_fraction / 2.0
             offset = self._rng.uniform(-half, half)
-            step = max(1, int(round(self._period_ps * (1.0 + offset))))
-        self._next_edge += step
-        return self._next_edge
+            step = max(1, int(round(self.period_ps * (1.0 + offset))))
+        self.next_edge += step
+        return self.next_edge
+
+    def skip_edges(self, count: int) -> None:
+        """Consume *count* edges at once without per-edge work.
+
+        Only valid for jitter-free clocks (jittered edges each need their own
+        pseudo-random draw to stay reproducible); the quiescent-phase
+        fast-forward in the processor uses this to batch idle cycles.
+        """
+        if count <= 0:
+            return
+        if self.jitter_fraction:
+            raise ValueError("cannot bulk-skip edges on a jittered clock")
+        self.cycle_count += count
+        self.next_edge += count * self.period_ps
 
     def edge_at_or_after(self, time_ps: Picoseconds) -> Picoseconds:
         """Return the first edge at or after *time_ps* without advancing.
@@ -103,18 +114,18 @@ class DomainClock:
         forward, which is exactly the information available to hardware in
         the consuming domain.
         """
-        if time_ps <= self._next_edge:
-            return self._next_edge
-        delta = time_ps - self._next_edge
-        cycles = -(-delta // self._period_ps)  # ceiling division
-        return self._next_edge + cycles * self._period_ps
+        if time_ps <= self.next_edge:
+            return self.next_edge
+        delta = time_ps - self.next_edge
+        cycles = -(-delta // self.period_ps)  # ceiling division
+        return self.next_edge + cycles * self.period_ps
 
     def cycles_to_ps(self, cycles: int) -> Picoseconds:
         """Convert a cycle count at the current frequency to picoseconds."""
-        return cycles * self._period_ps
+        return cycles * self.period_ps
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
             f"DomainClock({self.name!r}, {self.frequency_ghz:.3f} GHz, "
-            f"next_edge={self._next_edge} ps)"
+            f"next_edge={self.next_edge} ps)"
         )

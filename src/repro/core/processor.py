@@ -14,6 +14,7 @@ that domain's work for one cycle.  Times are integer picoseconds throughout.
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Callable, Iterable, Iterator
 
 from repro.caches.hierarchy import CacheHierarchy
@@ -49,6 +50,13 @@ from repro.timing.tables import (
 _INT_COMPLEX_OPS = frozenset({OpClass.INT_MULT, OpClass.INT_DIV})
 _FP_COMPLEX_OPS = frozenset({OpClass.FP_MULT, OpClass.FP_DIV, OpClass.FP_SQRT})
 
+# Hoisted hot-loop constants: domain name strings (compared against
+# ``DynInst.exec_domain`` every wake-up check) and the issue-order sort key.
+_INTEGER_DOMAIN = Domain.INTEGER.value
+_FLOATING_POINT_DOMAIN = Domain.FLOATING_POINT.value
+_LOAD_STORE_DOMAIN = Domain.LOAD_STORE.value
+_SEQ_KEY = attrgetter("seq")
+
 #: Main-loop iterations without a commit after which the simulator assumes a
 #: modelling bug rather than spinning forever.
 _DEADLOCK_LIMIT = 2_000_000
@@ -71,6 +79,16 @@ class MCDProcessor:
         Seed for the PLL lock-time sampler and clock jitter.
     jitter_fraction:
         Optional peak-to-peak clock jitter as a fraction of each period.
+    fast_forward:
+        Enable the quiescent-phase fast-forward: when the pipeline is
+        completely drained and fetch is stalled (branch redirect or I-cache
+        miss in flight), idle clock edges are batch-consumed instead of being
+        walked one main-loop iteration at a time.  Bit-identical by
+        construction — the skipped edges provably perform no work beyond
+        stall/occupancy accounting, which is applied in bulk — and therefore
+        on by default; the flag exists so tests can compare both paths.
+        Automatically disabled under clock jitter (jittered edges each need
+        their own pseudo-random draw).
     """
 
     def __init__(
@@ -81,6 +99,7 @@ class MCDProcessor:
         phase_adaptive: bool = False,
         seed: int = 0,
         jitter_fraction: float = 0.0,
+        fast_forward: bool = True,
     ) -> None:
         if phase_adaptive and not spec.is_adaptive:
             raise ValueError("phase-adaptive control requires an adaptive MCD spec")
@@ -149,6 +168,13 @@ class MCDProcessor:
         self._interval_start_time: dict[str, Picoseconds] = {}
         self._last_interval_duration: Picoseconds = 0
 
+        # Quiescent-phase fast-forward (see the constructor docstring).
+        self._fast_forward_enabled = fast_forward and jitter_fraction == 0.0
+        #: Number of times the fast-forward batch-consumed at least one edge.
+        self.fast_forward_invocations = 0
+        #: Total clock edges consumed in bulk across all domains.
+        self.fast_forward_cycles = 0
+
     # ------------------------------------------------------------------ run
 
     def run(
@@ -196,13 +222,16 @@ class MCDProcessor:
         frontend = self.frontend
         assert frontend is not None
         ls_period = self.clocks[Domain.LOAD_STORE].period_ps
+        take_instruction = frontend.take_instruction
+        warm = frontend.warm
+        access_data = self.hierarchy.access_data
         for _ in range(count):
-            instruction = frontend.take_instruction()
+            instruction = take_instruction()
             if instruction is None:
                 break
-            frontend.warm(instruction)
+            warm(instruction)
             if instruction.is_memory_op and instruction.address is not None:
-                self.hierarchy.access_data(
+                access_data(
                     instruction.address,
                     is_store=instruction.is_store,
                     now_ps=0,
@@ -294,42 +323,131 @@ class MCDProcessor:
     def _main_loop(self, max_instructions: int) -> None:
         frontend = self.frontend
         assert frontend is not None
+        rob = self.rob
+        fetch_queue = frontend.fetch_queue
         clocks = self.clocks
+        # Hot bindings: the loop body runs once per clock edge across the
+        # whole run, so every attribute lookup it avoids matters.  The edge
+        # selection is an explicit four-way compare (ties resolve in Domain
+        # declaration order, exactly as ``min(Domain, key=...)`` did).
+        fe_clock = clocks[Domain.FRONT_END]
+        int_clock = clocks[Domain.INTEGER]
+        fp_clock = clocks[Domain.FLOATING_POINT]
+        ls_clock = clocks[Domain.LOAD_STORE]
+        fe_cycle = self._front_end_cycle
+        int_cycle = self._integer_cycle
+        fp_cycle = self._floating_point_cycle
+        ls_cycle = self._load_store_cycle
+        fast_forward = self._fast_forward_enabled
+        try_fast_forward = self._try_fast_forward
         idle_iterations = 0
         last_committed = 0
-        while self.rob.total_committed < max_instructions:
-            if (
-                frontend.trace_exhausted
-                and self.rob.is_empty()
-                and frontend.fetch_queue.occupancy == 0
-            ):
-                break
-            domain = min(Domain, key=lambda d: clocks[d].next_edge)
-            now = clocks[domain].next_edge
-            if self._pending_events:
-                self._process_pending_events(now)
-            if domain is Domain.FRONT_END:
-                self._front_end_cycle(now)
-            elif domain is Domain.INTEGER:
-                self._integer_cycle(now)
-            elif domain is Domain.FLOATING_POINT:
-                self._floating_point_cycle(now)
-            else:
-                self._load_store_cycle(now)
-            clocks[domain].advance()
+        while rob.total_committed < max_instructions:
+            if rob.is_empty() and fetch_queue.occupancy == 0:
+                if frontend.trace_exhausted:
+                    break
+                if fast_forward:
+                    try_fast_forward(fe_clock, int_clock, fp_clock, ls_clock)
 
-            if self.rob.total_committed == last_committed:
+            edge = fe_clock.next_edge
+            clock = fe_clock
+            cycle = fe_cycle
+            candidate = int_clock.next_edge
+            if candidate < edge:
+                edge = candidate
+                clock = int_clock
+                cycle = int_cycle
+            candidate = fp_clock.next_edge
+            if candidate < edge:
+                edge = candidate
+                clock = fp_clock
+                cycle = fp_cycle
+            candidate = ls_clock.next_edge
+            if candidate < edge:
+                edge = candidate
+                clock = ls_clock
+                cycle = ls_cycle
+
+            if self._pending_events:
+                self._process_pending_events(edge)
+            cycle(edge)
+            clock.advance()
+
+            committed = rob.total_committed
+            if committed == last_committed:
                 idle_iterations += 1
                 if idle_iterations > _DEADLOCK_LIMIT:
                     raise RuntimeError(
                         "simulation made no forward progress for "
                         f"{_DEADLOCK_LIMIT} cycles (committed="
-                        f"{self.rob.total_committed}); this indicates a "
+                        f"{committed}); this indicates a "
                         "pipeline modelling bug"
                     )
             else:
                 idle_iterations = 0
-                last_committed = self.rob.total_committed
+                last_committed = committed
+
+    def _try_fast_forward(
+        self,
+        fe_clock: DomainClock,
+        int_clock: DomainClock,
+        fp_clock: DomainClock,
+        ls_clock: DomainClock,
+    ) -> None:
+        """Batch-consume provably idle clock edges while the machine drains.
+
+        Preconditions (checked by the caller): the reorder buffer and fetch
+        queue are empty, so no instruction is in flight anywhere — the issue
+        queues, LSQ and functional units are all drained.  Until the front
+        end fetches again, every domain's cycle is a no-op whose only side
+        effects are the front end's stall counter and the issue queues'
+        zero-occupancy samples, so those edges can be consumed in bulk with
+        the same counter updates.
+
+        Fetch resumes at the first front-end edge at or after the front
+        end's stall horizon (branch redirect or I-cache refill time), so
+        edges strictly before that — across all four domains — are skippable.
+        Pending reconfiguration events cap the horizon (they must fire at
+        exactly the edge they would have fired at), and any in-progress
+        reconfiguration bypasses the fast-forward entirely: while the
+        controllers are mid-change the conservative path keeps the event and
+        frequency sequencing trivially identical.
+        """
+        frontend = self.frontend
+        assert frontend is not None
+        if self._changes_in_progress or frontend.waiting_for_branch is not None:
+            return
+        horizon = fe_clock.edge_at_or_after(frontend.stall_until)
+        if self._pending_events:
+            earliest = min(event[0] for event in self._pending_events)
+            if earliest < horizon:
+                horizon = earliest
+
+        skipped = 0
+        edge = fe_clock.next_edge
+        if edge < horizon:
+            period = fe_clock.period_ps
+            count = -(-(horizon - edge) // period)  # edges strictly before horizon
+            fe_clock.skip_edges(count)
+            frontend.stats.fetch_stall_cycles += count
+            skipped += count
+        for clock, queue in ((int_clock, self.int_queue), (fp_clock, self.fp_queue)):
+            edge = clock.next_edge
+            if edge < horizon:
+                count = -(-(horizon - edge) // clock.period_ps)
+                clock.skip_edges(count)
+                # The per-cycle occupancy sample of an empty queue, in bulk.
+                queue.occupancy_samples += count
+                skipped += count
+        edge = ls_clock.next_edge
+        if edge < horizon:
+            count = -(-(horizon - edge) // ls_clock.period_ps)
+            ls_clock.skip_edges(count)
+            skipped += count
+
+        if skipped:
+            self.fast_forward_invocations += 1
+            self.fast_forward_cycles += skipped
 
     def _process_pending_events(self, now: Picoseconds) -> None:
         due = [event for event in self._pending_events if event[0] <= now]
@@ -352,18 +470,24 @@ class MCDProcessor:
         frontend.fetch_cycle(now, period)
 
     def _commit(self, now: Picoseconds, fe_clock: DomainClock) -> None:
+        rob = self.rob
+        clock_by_name = self._clock_by_name
+        transfer = self.sync.transfer
+        last_writer = self._last_writer
+        phase_adaptive = self.phase_adaptive
         committed = 0
-        while committed < self.params.retire_width:
-            head = self.rob.head
-            if head is None or not head.completed:
+        retire_width = self.params.retire_width
+        while committed < retire_width:
+            head = rob.head
+            if head is None or head.completion_time is None:
                 break
             ready_time = head.completion_time or 0
-            producer_clock = self._clock_by_name.get(head.exec_domain)
+            producer_clock = clock_by_name.get(head.exec_domain)
             if producer_clock is not None and producer_clock is not fe_clock:
-                ready_time = self.sync.transfer(ready_time, producer_clock, fe_clock)
+                ready_time = transfer(ready_time, producer_clock, fe_clock)
             if ready_time > now:
                 break
-            self.rob.commit_head()
+            rob.commit_head()
             head.commit_time = now
             committed += 1
             self._last_commit_time = now
@@ -373,22 +497,32 @@ class MCDProcessor:
                     self.fp_regs.release()
                 else:
                     self.int_regs.release()
-                if self._last_writer.get(dest) is head:
-                    del self._last_writer[dest]
+                if last_writer.get(dest) is head:
+                    del last_writer[dest]
             if head.is_memory_op:
                 self.lsq.release(head)
-            if self.phase_adaptive:
+            if phase_adaptive:
                 self._on_commit(now)
 
     def _dispatch(self, now: Picoseconds, fe_clock: DomainClock) -> None:
         frontend = self.frontend
         assert frontend is not None
+        fetch_queue = frontend.fetch_queue
+        rob = self.rob
+        lsq = self.lsq
+        last_writer = self._last_writer
+        last_writer_get = last_writer.get
+        transfer = self.sync.transfer
+        int_clock = self.clocks[Domain.INTEGER]
+        fp_clock = self.clocks[Domain.FLOATING_POINT]
+        feed_controllers = self.phase_adaptive and self.control.adapt_queues
         dispatched = 0
-        while dispatched < self.params.decode_width:
-            inst = frontend.fetch_queue.peek()
+        decode_width = self.params.decode_width
+        while dispatched < decode_width:
+            inst = fetch_queue.peek()
             if inst is None or inst.dispatch_ready_time > now:
                 break
-            if not self.rob.has_space:
+            if not rob.has_space:
                 break
             instruction = inst.instruction
             dest = instruction.dest
@@ -397,33 +531,32 @@ class MCDProcessor:
                 regfile = self.fp_regs if is_fp_register(dest) else self.int_regs
                 if not regfile.can_allocate():
                     break
-            is_fp_op = uses_fp_queue(instruction.op)
+            is_fp_op = inst.is_fp
             queue = self.fp_queue if is_fp_op else self.int_queue
             if not queue.has_space:
                 break
-            if instruction.is_memory_op and not self.lsq.has_space:
+            is_memory_op = inst.is_memory_op
+            if is_memory_op and not lsq.has_space:
                 break
 
-            frontend.fetch_queue.pop()
-            producers = tuple(
-                self._last_writer.get(source) for source in instruction.sources
+            fetch_queue.pop()
+            inst.producers = tuple(
+                last_writer_get(source) for source in instruction.sources
             )
-            inst.producers = producers
             if dest is not None and regfile is not None:
                 regfile.allocate()
-                self._last_writer[dest] = inst
-            self.rob.dispatch(inst)
-            if instruction.is_memory_op:
-                self.lsq.allocate(inst)
+                last_writer[dest] = inst
+            rob.dispatch(inst)
+            if is_memory_op:
+                lsq.allocate(inst)
             inst.dispatch_time = now
-            target_domain = Domain.FLOATING_POINT if is_fp_op else Domain.INTEGER
-            arrival = self.sync.transfer(
-                now, fe_clock, self.clocks[target_domain], fifo=True
+            arrival = transfer(
+                now, fe_clock, fp_clock if is_fp_op else int_clock, fifo=True
             )
             queue.dispatch(inst, arrival)
             dispatched += 1
 
-            if self.phase_adaptive and self.control.adapt_queues:
+            if feed_controllers:
                 self._feed_queue_controllers(instruction, now)
 
     # --------------------------------------------------------- exec domains
@@ -446,37 +579,76 @@ class MCDProcessor:
                 return False
         return True
 
+    def _ready_entries(
+        self, queue: IssueQueue, now: Picoseconds, domain_name: str, clock: DomainClock
+    ) -> list[DynInst]:
+        """Operand-ready queue entries, oldest first.
+
+        Inline equivalent of ``queue.ready_entries(now, operand_ready)``: the
+        wake-up check runs for every queue entry every cycle, so the
+        per-entry callback indirection of :meth:`_operand_ready` is flattened
+        into one loop with hoisted bindings.
+        """
+        entries = queue.pending_entries()
+        if not entries:
+            return []
+        clock_by_name = self._clock_by_name
+        transfer = self.sync.transfer
+        ready: list[DynInst] = []
+        for inst in entries:
+            for producer in inst.producers:
+                if producer is None:
+                    continue
+                completion = producer.completion_time
+                if completion is None:
+                    break
+                if producer.exec_domain != domain_name:
+                    producer_clock = clock_by_name.get(producer.exec_domain)
+                    if producer_clock is not None:
+                        completion = transfer(
+                            completion, producer_clock, clock, record=False
+                        )
+                if completion > now:
+                    break
+            else:
+                ready.append(inst)
+        ready.sort(key=_SEQ_KEY)
+        return ready
+
     def _integer_cycle(self, now: Picoseconds) -> None:
         clock = self.clocks[Domain.INTEGER]
         period = clock.period_ps
         queue = self.int_queue
         queue.admit_arrivals(now)
-        self.int_units.begin_cycle(now)
-        issued = 0
-        ready = queue.ready_entries(
-            now, lambda inst, time: self._operand_ready(inst, time, Domain.INTEGER)
-        )
-        for inst in ready:
-            if issued >= self.params.issue_width:
-                break
-            op = inst.op
-            latency_ps = EXECUTION_LATENCY[op] * period
-            if not self.int_units.try_reserve(op, now, latency_ps):
-                continue
-            queue.remove(inst)
-            inst.issue_time = now
-            issued += 1
-            if inst.is_memory_op:
-                inst.agen_time = now + period
-                inst.lsq_arrival_time = self.sync.transfer(
-                    inst.agen_time, clock, self.clocks[Domain.LOAD_STORE], fifo=True
-                )
-            else:
-                completion = now + latency_ps
-                inst.completion_time = completion
-                inst.exec_domain = Domain.INTEGER.value
-                if inst.mispredicted:
-                    self._schedule_branch_redirect(inst, completion, clock)
+        units = self.int_units
+        units.begin_cycle(now)
+        ready = self._ready_entries(queue, now, _INTEGER_DOMAIN, clock)
+        if ready:
+            issue_width = self.params.issue_width
+            execution_latency = EXECUTION_LATENCY
+            transfer = self.sync.transfer
+            ls_clock = self.clocks[Domain.LOAD_STORE]
+            issued = 0
+            for inst in ready:
+                if issued >= issue_width:
+                    break
+                op = inst.op
+                latency_ps = execution_latency[op] * period
+                if not units.try_reserve(op, now, latency_ps):
+                    continue
+                queue.remove(inst)
+                inst.issue_time = now
+                issued += 1
+                if inst.is_memory_op:
+                    agen = now + period
+                    inst.agen_time = agen
+                    inst.lsq_arrival_time = transfer(agen, clock, ls_clock, fifo=True)
+                else:
+                    completion = now + latency_ps
+                    inst.completion_time = completion
+                    inst.exec_domain = _INTEGER_DOMAIN
+                    if inst.mispredicted:
+                        self._schedule_branch_redirect(inst, completion, clock)
         queue.sample_occupancy()
 
     def _floating_point_cycle(self, now: Picoseconds) -> None:
@@ -484,31 +656,43 @@ class MCDProcessor:
         period = clock.period_ps
         queue = self.fp_queue
         queue.admit_arrivals(now)
-        self.fp_units.begin_cycle(now)
-        issued = 0
-        ready = queue.ready_entries(
-            now, lambda inst, time: self._operand_ready(inst, time, Domain.FLOATING_POINT)
-        )
-        for inst in ready:
-            if issued >= self.params.issue_width:
-                break
-            op = inst.op
-            latency_ps = EXECUTION_LATENCY[op] * period
-            if not self.fp_units.try_reserve(op, now, latency_ps):
-                continue
-            queue.remove(inst)
-            inst.issue_time = now
-            issued += 1
-            inst.completion_time = now + latency_ps
-            inst.exec_domain = Domain.FLOATING_POINT.value
+        units = self.fp_units
+        units.begin_cycle(now)
+        ready = self._ready_entries(queue, now, _FLOATING_POINT_DOMAIN, clock)
+        if ready:
+            issue_width = self.params.issue_width
+            execution_latency = EXECUTION_LATENCY
+            issued = 0
+            for inst in ready:
+                if issued >= issue_width:
+                    break
+                op = inst.op
+                latency_ps = execution_latency[op] * period
+                if not units.try_reserve(op, now, latency_ps):
+                    continue
+                queue.remove(inst)
+                inst.issue_time = now
+                issued += 1
+                inst.completion_time = now + latency_ps
+                inst.exec_domain = _FLOATING_POINT_DOMAIN
         queue.sample_occupancy()
 
     def _load_store_cycle(self, now: Picoseconds) -> None:
+        lsq = self.lsq
+        entries = lsq.pending_entries()
+        if not entries:
+            return
         clock = self.clocks[Domain.LOAD_STORE]
         period = clock.period_ps
+        cache_ports = self.params.cache_ports
+        access_data = self.hierarchy.access_data
+        lsq_stats = lsq.stats
         performed = 0
-        for inst in self.lsq.occupants():
-            if performed >= self.params.cache_ports:
+        # Iterate a snapshot: performing an access never mutates the LSQ
+        # entry list (entries leave only at commit), so the copy exists only
+        # to stay robust against future mutation, mirroring occupants().
+        for inst in tuple(entries):
+            if performed >= cache_ports:
                 break
             if inst.memory_issued:
                 continue
@@ -517,33 +701,33 @@ class MCDProcessor:
                 continue
             address = inst.instruction.address or 0
             if inst.is_load:
-                older_store = self.lsq.pending_older_store(inst)
+                older_store = lsq.pending_older_store(inst)
                 if older_store is not None:
-                    forwardable = self.lsq.forwardable_store(inst, now)
+                    forwardable = lsq.forwardable_store(inst, now)
                     if forwardable is None:
                         continue
                     inst.completion_time = now + period
-                    inst.exec_domain = Domain.LOAD_STORE.value
+                    inst.exec_domain = _LOAD_STORE_DOMAIN
                     inst.memory_issued = True
-                    self.lsq.stats.loads_forwarded += 1
+                    lsq_stats.loads_forwarded += 1
                     performed += 1
                     continue
-                result = self.hierarchy.access_data(
+                result = access_data(
                     address, is_store=False, now_ps=now, period_ps=period
                 )
                 inst.completion_time = result.completion_ps
-                inst.exec_domain = Domain.LOAD_STORE.value
+                inst.exec_domain = _LOAD_STORE_DOMAIN
                 inst.memory_issued = True
-                self.lsq.stats.loads_performed += 1
+                lsq_stats.loads_performed += 1
                 performed += 1
             else:
-                result = self.hierarchy.access_data(
+                result = access_data(
                     address, is_store=True, now_ps=now, period_ps=period
                 )
                 inst.completion_time = result.completion_ps
-                inst.exec_domain = Domain.LOAD_STORE.value
+                inst.exec_domain = _LOAD_STORE_DOMAIN
                 inst.memory_issued = True
-                self.lsq.stats.stores_performed += 1
+                lsq_stats.stores_performed += 1
                 performed += 1
 
     #: Pipeline depth already represented by the explicit fetch/decode/dispatch

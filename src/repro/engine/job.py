@@ -31,7 +31,7 @@ from repro.core.configuration import (
 )
 from repro.core.controllers.params import AdaptiveControlParams
 from repro.workloads.characteristics import WorkloadProfile
-from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.trace_cache import cached_trace
 
 #: Default trace seed so every machine sees the identical dynamic instruction
 #: stream for a given workload.
@@ -42,7 +42,7 @@ DEFAULT_TRACE_SEED = 1234
 #: caches from older code are invalidated.  Machine-configuration changes
 #: (timing tables, spec fields) need no bump: the fingerprint hashes the
 #: fully resolved :class:`MachineSpec`, so those invalidate automatically.
-FINGERPRINT_VERSION = 1
+FINGERPRINT_VERSION = 2  # v2: PYTHONHASHSEED-independent trace/jitter RNG seeding
 
 
 def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
@@ -79,8 +79,16 @@ def default_control_params(window: int) -> AdaptiveControlParams:
 
 
 def make_trace(profile: WorkloadProfile, seed: int = DEFAULT_TRACE_SEED):
-    """Build the deterministic trace generator for *profile*."""
-    return SyntheticTraceGenerator(profile, seed=seed)
+    """The deterministic trace for *profile* (memoised per process).
+
+    Returns a :class:`~repro.workloads.trace_cache.ReplayableTrace`: the
+    same consumption API as :class:`SyntheticTraceGenerator`, but sweeps
+    that simulate one workload under many machine configurations generate
+    the instruction stream once and replay it, instead of re-rolling the
+    identical pseudo-random trace per job.  Set ``REPRO_TRACE_CACHE=0`` to
+    fall back to uncached generation.
+    """
+    return cached_trace(profile, seed=seed)
 
 
 class SpecKind(str, enum.Enum):

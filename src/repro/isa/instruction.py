@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.isa.opcodes import OpClass, is_memory
+from repro.isa.opcodes import IS_MEMORY, OpClass
 from repro.isa.registers import RegisterName
 
 
@@ -46,30 +46,25 @@ class Instruction:
     taken: bool = False
     target: int | None = None
     seq: int = field(default=-1, compare=False)
+    #: Cached opclass predicates, filled in ``__post_init__``.  The pipeline
+    #: reads these once or more per dynamic instruction per cycle, so they
+    #: are plain attributes rather than properties.
+    is_load: bool = field(init=False, compare=False, repr=False, default=False)
+    is_store: bool = field(init=False, compare=False, repr=False, default=False)
+    is_memory_op: bool = field(init=False, compare=False, repr=False, default=False)
 
     def __post_init__(self) -> None:
-        if self.op is OpClass.BRANCH and not self.is_branch:
+        op = self.op
+        if op is OpClass.BRANCH and not self.is_branch:
             self.is_branch = True
-        if is_memory(self.op) and self.address is None:
+        self.is_load = op is OpClass.LOAD
+        self.is_store = op is OpClass.STORE
+        self.is_memory_op = IS_MEMORY[op]
+        if self.is_memory_op and self.address is None:
             raise ValueError(f"memory instruction requires an address: {self!r}")
         if self.is_branch and self.target is None:
             # Fall through to the next sequential instruction by default.
             self.target = self.pc + 4
-
-    @property
-    def is_load(self) -> bool:
-        """True if the instruction reads the data cache."""
-        return self.op is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        """True if the instruction writes the data cache."""
-        return self.op is OpClass.STORE
-
-    @property
-    def is_memory_op(self) -> bool:
-        """True if the instruction accesses the data-cache hierarchy."""
-        return is_memory(self.op)
 
     @property
     def next_pc(self) -> int:

@@ -70,20 +70,29 @@ _FP_CLASSES = frozenset(
 
 _MEMORY_CLASSES = frozenset({OpClass.LOAD, OpClass.STORE})
 
+# Precomputed per-opclass dispatch tables.  The pipeline consults these for
+# every dynamic instruction, so they are plain dict lookups rather than set
+# membership behind a function call; the functions below stay as the
+# readable public API.
+IS_INTEGER: dict[OpClass, bool] = {op: op in _INT_CLASSES for op in OpClass}
+IS_FLOATING_POINT: dict[OpClass, bool] = {op: op in _FP_CLASSES for op in OpClass}
+IS_MEMORY: dict[OpClass, bool] = {op: op in _MEMORY_CLASSES for op in OpClass}
+USES_FP_QUEUE: dict[OpClass, bool] = dict(IS_FLOATING_POINT)
+
 
 def is_integer(op: OpClass) -> bool:
     """Return True if *op* executes on the integer domain's units."""
-    return op in _INT_CLASSES
+    return IS_INTEGER[op]
 
 
 def is_floating_point(op: OpClass) -> bool:
     """Return True if *op* executes on the floating-point domain's units."""
-    return op in _FP_CLASSES
+    return IS_FLOATING_POINT[op]
 
 
 def is_memory(op: OpClass) -> bool:
     """Return True if *op* accesses the data-cache hierarchy."""
-    return op in _MEMORY_CLASSES
+    return IS_MEMORY[op]
 
 
 def uses_int_queue(op: OpClass) -> bool:
@@ -92,9 +101,9 @@ def uses_int_queue(op: OpClass) -> bool:
     As in the MCD model, loads and stores compute their effective address in
     the integer domain and therefore occupy an integer issue-queue slot.
     """
-    return op in _INT_CLASSES
+    return IS_INTEGER[op]
 
 
 def uses_fp_queue(op: OpClass) -> bool:
     """Return True if *op* is dispatched into the floating-point issue queue."""
-    return op in _FP_CLASSES
+    return USES_FP_QUEUE[op]

@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.clocks.time import Picoseconds
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import OpClass, is_floating_point
+from repro.isa.opcodes import IS_FLOATING_POINT, OpClass
 
 
 @dataclass(slots=True)
@@ -40,42 +40,27 @@ class DynInst:
     squashed: bool = False
     memory_issued: bool = field(default=False)
 
-    # Convenience accessors -------------------------------------------------
+    # Cached accessors ------------------------------------------------------
+    # The pipeline touches these several times per cycle per in-flight
+    # instruction, so they are copied out of the wrapped Instruction once at
+    # construction instead of living behind properties.
+    seq: int = field(init=False, repr=False, default=-1)
+    op: OpClass = field(init=False, repr=False, default=OpClass.NOP)
+    is_branch: bool = field(init=False, repr=False, default=False)
+    is_memory_op: bool = field(init=False, repr=False, default=False)
+    is_load: bool = field(init=False, repr=False, default=False)
+    is_store: bool = field(init=False, repr=False, default=False)
+    is_fp: bool = field(init=False, repr=False, default=False)
 
-    @property
-    def seq(self) -> int:
-        """Dynamic sequence number of the wrapped instruction."""
-        return self.instruction.seq
-
-    @property
-    def op(self) -> OpClass:
-        """Operation class of the wrapped instruction."""
-        return self.instruction.op
-
-    @property
-    def is_branch(self) -> bool:
-        """True if the instruction is a control transfer."""
-        return self.instruction.is_branch
-
-    @property
-    def is_memory_op(self) -> bool:
-        """True if the instruction accesses the data cache."""
-        return self.instruction.is_memory_op
-
-    @property
-    def is_load(self) -> bool:
-        """True for loads."""
-        return self.instruction.is_load
-
-    @property
-    def is_store(self) -> bool:
-        """True for stores."""
-        return self.instruction.is_store
-
-    @property
-    def is_fp(self) -> bool:
-        """True if the instruction executes in the floating-point domain."""
-        return is_floating_point(self.instruction.op)
+    def __post_init__(self) -> None:
+        instruction = self.instruction
+        self.seq = instruction.seq
+        self.op = instruction.op
+        self.is_branch = instruction.is_branch
+        self.is_memory_op = instruction.is_memory_op
+        self.is_load = instruction.is_load
+        self.is_store = instruction.is_store
+        self.is_fp = IS_FLOATING_POINT[instruction.op]
 
     @property
     def completed(self) -> bool:

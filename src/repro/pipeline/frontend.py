@@ -158,6 +158,11 @@ class FrontEnd:
         """The unresolved mispredicted branch fetch is stalled on, if any."""
         return self._waiting_branch
 
+    @property
+    def stall_until(self) -> Picoseconds:
+        """Time before which fetch is stalled (redirect or I-cache refill)."""
+        return self._stall_until
+
     def apply_icache_config(self, config: ICacheConfig, *, use_b_partition: bool) -> None:
         """Repartition the I-cache for *config* (contents are preserved)."""
         self.icache_config = config
@@ -177,14 +182,16 @@ class FrontEnd:
 
     def warm(self, instruction: Instruction) -> None:
         """Warm the I-cache and branch predictor without timing effects."""
-        block = instruction.pc // self.icache.geometry.block_bytes
+        pc = instruction.pc
+        block = pc // self.icache.geometry.block_bytes
         if block != self._last_block:
-            self.icache.access(instruction.pc)
+            self.icache.access(pc)
             self._last_block = block
         if instruction.is_branch:
-            self.predictor.predict_and_update(instruction.pc, instruction.taken)
-            if instruction.taken:
-                self.btb.update(instruction.pc, instruction.target or 0)
+            taken = instruction.taken
+            self.predictor.predict_and_update(pc, taken)
+            if taken:
+                self.btb.update(pc, instruction.target or 0)
 
     def reset_warm_state(self) -> None:
         """Clear warmup bookkeeping and statistics before a measured run."""
@@ -218,38 +225,44 @@ class FrontEnd:
 
     def fetch_cycle(self, now: Picoseconds, period_ps: Picoseconds) -> list[DynInst]:
         """Fetch up to ``fetch_width`` instructions at front-end edge *now*."""
+        stats = self.stats
         if self._waiting_branch is not None:
-            self.stats.branch_stall_cycles += 1
+            stats.branch_stall_cycles += 1
             return []
         if now < self._stall_until:
-            self.stats.fetch_stall_cycles += 1
+            stats.fetch_stall_cycles += 1
             return []
 
         fetched: list[DynInst] = []
-        block_bytes = self.icache.geometry.block_bytes
+        fetch_queue = self.fetch_queue
+        icache = self.icache
+        next_instruction = self._next_instruction
+        block_bytes = icache.geometry.block_bytes
+        decode_delay = self.decode_cycles * period_ps
         extra_decode_delay = 0
         for _ in range(self.fetch_width):
-            if not self.fetch_queue.has_space:
+            if not fetch_queue.has_space:
                 break
-            instruction = self._next_instruction()
+            instruction = next_instruction()
             if instruction is None:
                 break
 
-            block = instruction.pc // block_bytes
+            pc = instruction.pc
+            block = pc // block_bytes
             if block != self._last_block:
-                outcome = self.icache.access(instruction.pc)
-                self.stats.icache_accesses += 1
+                outcome = icache.access(pc)
+                stats.icache_accesses += 1
                 self._last_block = block
                 if outcome is AccessOutcome.HIT_B:
                     # The fetch pipeline keeps running; instructions from this
                     # block simply become available to dispatch B-latency
                     # cycles later.
-                    self.stats.icache_b_hits += 1
+                    stats.icache_b_hits += 1
                     extra_decode_delay = (self.icache_config.l1_latency[1] or 0) * period_ps
                 if outcome is AccessOutcome.MISS:
-                    self.stats.icache_misses += 1
+                    stats.icache_misses += 1
                     if self._icache_miss_handler is not None:
-                        ready = self._icache_miss_handler(instruction.pc, now)
+                        ready = self._icache_miss_handler(pc, now)
                     else:
                         ready = now + 20 * period_ps
                     self._stall_until = max(ready, now + period_ps)
@@ -258,31 +271,28 @@ class FrontEnd:
 
             dyninst = DynInst(instruction=instruction)
             dyninst.fetch_time = now
-            dyninst.dispatch_ready_time = (
-                now + self.decode_cycles * period_ps + extra_decode_delay
-            )
-            self.fetch_queue.push(dyninst)
+            dyninst.dispatch_ready_time = now + decode_delay + extra_decode_delay
+            fetch_queue.push(dyninst)
             fetched.append(dyninst)
-            self.stats.fetched += 1
+            stats.fetched += 1
 
             if instruction.is_branch:
-                self.stats.branches += 1
-                correct = self.predictor.predict_and_update(
-                    instruction.pc, instruction.taken
-                )
-                predicted_target = self.btb.lookup(instruction.pc)
-                if instruction.taken:
-                    self.btb.update(instruction.pc, instruction.target or 0)
+                stats.branches += 1
+                taken = instruction.taken
+                correct = self.predictor.predict_and_update(pc, taken)
+                predicted_target = self.btb.lookup(pc)
+                if taken:
+                    self.btb.update(pc, instruction.target or 0)
                 if not correct:
                     dyninst.mispredicted = True
-                    self.stats.mispredictions += 1
+                    stats.mispredictions += 1
                     self._waiting_branch = dyninst
                     break
-                if instruction.taken:
+                if taken:
                     if predicted_target is None:
                         # Correctly predicted direction but unknown target:
                         # one fetch bubble while the target is computed.
-                        self.stats.btb_misses += 1
+                        stats.btb_misses += 1
                         self._stall_until = now + period_ps
                     # Cannot fetch past a taken branch in the same cycle.
                     self._last_block = None

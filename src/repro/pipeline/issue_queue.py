@@ -72,6 +72,15 @@ class IssueQueue:
                 still_waiting.append(inst)
         self._incoming = still_waiting
 
+    def pending_entries(self) -> list[DynInst]:
+        """The admitted entries, in insertion order (read-only view).
+
+        This is the internal list itself, exposed so the processor's wake-up
+        loop can scan it without a per-cycle copy; callers must not mutate
+        it.  Use :meth:`ready_entries` for the safe, filtering variant.
+        """
+        return self._entries
+
     def ready_entries(self, now: Picoseconds, operand_ready) -> list[DynInst]:
         """Return queue entries whose operands are ready, oldest first.
 

@@ -96,6 +96,10 @@ class LoadStoreQueue:
                 match = entry
         return match
 
+    def pending_entries(self) -> list[DynInst]:
+        """The queue entries in program order (read-only view, no copy)."""
+        return self._entries
+
     def occupants(self) -> tuple[DynInst, ...]:
         """Snapshot of all memory operations currently in the queue."""
         return tuple(self._entries)

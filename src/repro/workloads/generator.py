@@ -19,6 +19,7 @@ always produce bit-identical traces.
 from __future__ import annotations
 
 import random
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from typing import Iterator
@@ -107,7 +108,11 @@ class SyntheticTraceGenerator:
     def __init__(self, profile: WorkloadProfile, *, seed: int = 1234) -> None:
         self.profile = profile
         self.seed = seed
-        self._rng = random.Random((seed * 1_000_003) ^ hash(profile.name) & 0xFFFFFFFF)
+        # crc32, not hash(): str hashing is salted per process
+        # (PYTHONHASHSEED), which would make the "deterministic" trace differ
+        # between interpreter invocations — breaking golden-value tests and
+        # any persistent result cache.
+        self._rng = random.Random((seed * 1_000_003) ^ zlib.crc32(profile.name.encode()))
 
         # --- static program layout -------------------------------------
         self._block_size = profile.block_size
@@ -192,12 +197,16 @@ class SyntheticTraceGenerator:
     # ----------------------------------------------------------- internals
 
     def _next_instruction(self) -> Instruction:
-        self._advance_phase_if_needed()
+        has_phases = bool(self.profile.phases)
+        if has_phases and self._phase_remaining <= 0:
+            self._advance_phase_if_needed()
+        block_size = self._block_size
         block = (self._window_start + self._block_in_window) % self._n_blocks
-        slot = block * self._block_size + self._instr_in_block
+        instr_in_block = self._instr_in_block
+        slot = block * block_size + instr_in_block
         pc = CODE_BASE + slot * INSTRUCTION_BYTES
 
-        if self._instr_in_block == self._block_size - 1:
+        if instr_in_block == block_size - 1:
             instruction = self._emit_block_end_branch(pc, block)
         else:
             bias = self._static_branch_bias.get(slot)
@@ -205,11 +214,11 @@ class SyntheticTraceGenerator:
                 instruction = self._emit_conditional_branch(pc, block, bias)
             else:
                 instruction = self._emit_regular(pc)
-                self._instr_in_block += 1
+                self._instr_in_block = instr_in_block + 1
 
         instruction.seq = self._seq
         self._seq += 1
-        if self.profile.phases:
+        if has_phases:
             self._phase_remaining -= 1
         return instruction
 

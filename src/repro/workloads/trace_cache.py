@@ -1,0 +1,127 @@
+"""Per-process memoisation of synthetic instruction traces.
+
+Every simulation job regenerates its dynamic instruction stream from the
+deterministic :class:`~repro.workloads.generator.SyntheticTraceGenerator`.
+Within one sweep the same ``(profile, seed)`` trace is consumed by dozens of
+machine configurations, and generating it — random draws, operand selection,
+:class:`~repro.isa.instruction.Instruction` construction — dominated the
+sweep's wall-clock.  A :class:`ReplayableTrace` materialises the stream
+lazily the first time it is consumed and replays the shared, immutable
+``Instruction`` objects to every later consumer, which is bit-identical by
+construction: replay yields exactly the objects the generator produced, in
+order, including their ``seq`` numbers.
+
+The cache is per process (worker processes of the parallel executor each
+build their own) and bounded: ``REPRO_TRACE_CACHE`` sets the number of
+distinct traces kept (default 4; ``0`` disables memoisation entirely).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from typing import Iterator
+
+from repro.isa.instruction import Instruction
+from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.generator import SyntheticTraceGenerator
+
+#: Default number of distinct (profile, seed) traces memoised per process.
+DEFAULT_CACHE_TRACES = 4
+
+
+def _cache_limit() -> int:
+    try:
+        return int(os.environ.get("REPRO_TRACE_CACHE", str(DEFAULT_CACHE_TRACES)))
+    except ValueError:
+        return DEFAULT_CACHE_TRACES
+
+
+class ReplayableTrace:
+    """A lazily materialised, replayable view of one generator's stream.
+
+    Presents the same consumption API as the generator itself
+    (``instructions()`` / ``generate()`` / iteration, plus the ``profile``
+    and ``seed`` attributes), with one deliberate difference: every call to
+    :meth:`instructions` starts a fresh iterator from sequence number 0 —
+    that replay-from-the-start semantics is what lets many simulation jobs
+    share one trace.  :meth:`generate` remains stateful exactly like the
+    generator's ("the *next* count instructions"), so warm-up-then-continue
+    consumption patterns work unchanged; note that on a *cached* trace that
+    cursor is shared by everyone holding the same object, just as it would
+    be on a shared generator.
+    """
+
+    __slots__ = ("profile", "seed", "_generator", "_materialised", "_generate_cursor")
+
+    def __init__(self, profile: WorkloadProfile, *, seed: int) -> None:
+        self.profile = profile
+        self.seed = seed
+        self._generator = SyntheticTraceGenerator(profile, seed=seed)
+        self._materialised: list[Instruction] = []
+        self._generate_cursor = 0
+
+    def instructions(self) -> Iterator[Instruction]:
+        """Yield the dynamic instruction stream from the beginning, forever."""
+        materialised = self._materialised
+        next_instruction = self._generator._next_instruction
+        index = 0
+        while True:
+            if index == len(materialised):
+                materialised.append(next_instruction())
+            yield materialised[index]
+            index += 1
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return self.instructions()
+
+    def generate(self, count: int) -> list[Instruction]:
+        """Return the next *count* instructions (stateful, like the generator)."""
+        materialised = self._materialised
+        next_instruction = self._generator._next_instruction
+        start = self._generate_cursor
+        end = start + count
+        while len(materialised) < end:
+            materialised.append(next_instruction())
+        self._generate_cursor = end
+        return materialised[start:end]
+
+    @property
+    def materialised_length(self) -> int:
+        """Number of instructions materialised so far (for tests/diagnostics)."""
+        return len(self._materialised)
+
+
+_cache: "OrderedDict[tuple[str, int], ReplayableTrace]" = OrderedDict()
+
+
+def _profile_key(profile: WorkloadProfile) -> str:
+    return json.dumps(profile.to_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def cached_trace(profile: WorkloadProfile, *, seed: int) -> ReplayableTrace:
+    """A (possibly shared) replayable trace for ``(profile, seed)``.
+
+    With memoisation disabled (``REPRO_TRACE_CACHE=0``) a fresh, uncached
+    :class:`ReplayableTrace` is returned, which behaves exactly like the
+    plain generator.
+    """
+    limit = _cache_limit()
+    if limit <= 0:
+        return ReplayableTrace(profile, seed=seed)
+    key = (_profile_key(profile), seed)
+    trace = _cache.get(key)
+    if trace is None:
+        trace = ReplayableTrace(profile, seed=seed)
+        _cache[key] = trace
+    else:
+        _cache.move_to_end(key)
+    while len(_cache) > limit:
+        _cache.popitem(last=False)
+    return trace
+
+
+def clear_trace_cache() -> None:
+    """Drop every memoised trace (tests and memory-pressure escape hatch)."""
+    _cache.clear()

@@ -1,0 +1,80 @@
+"""Golden-value helpers: stable digests of representative RunResults.
+
+The hot-path optimisation work (edge scheduling, fast-forward, precomputed
+dispatch tables, trace memoisation) must be *bit-identical*: the digest of a
+``RunResult`` for a fixed (workload, machine, seed, window) must never change
+unless the simulator's modelling intentionally changes.  This module defines
+the representative job set and the digest function; the recorded golden
+values live in ``tests/test_golden_values.py``.
+
+Run as a script to print the current digests::
+
+    PYTHONPATH=src python tests/golden_digests.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.engine import SimulationJob, SpecKind, run_job
+from repro.workloads import get_workload
+
+
+def golden_jobs() -> dict[str, SimulationJob]:
+    """Small, fast, representative jobs covering the three machine styles."""
+    gcc = get_workload("gcc")
+    em3d = get_workload("em3d")
+    return {
+        "gcc/synchronous": SimulationJob(
+            profile=gcc,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=1_500,
+            warmup=1_000,
+        ),
+        "gcc/program_adaptive": SimulationJob(
+            profile=gcc,
+            spec_kind=SpecKind.ADAPTIVE,
+            use_b_partitions=False,
+            window=1_500,
+            warmup=1_000,
+        ),
+        "gcc/phase_adaptive": SimulationJob(
+            profile=gcc,
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=1_500,
+            warmup=1_000,
+        ),
+        "em3d/synchronous": SimulationJob(
+            profile=em3d,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=1_500,
+            warmup=1_000,
+        ),
+        "em3d/phase_adaptive": SimulationJob(
+            profile=em3d,
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=1_500,
+            warmup=1_000,
+        ),
+    }
+
+
+def result_digest(result) -> str:
+    """Stable sha256 of a RunResult's full serialised content."""
+    payload = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def compute_digests() -> dict[str, str]:
+    """Simulate every golden job and return its digest."""
+    return {name: result_digest(run_job(job)) for name, job in golden_jobs().items()}
+
+
+if __name__ == "__main__":
+    for name, digest in compute_digests().items():
+        print(f'    "{name}": "{digest}",')

@@ -12,7 +12,6 @@ from repro.core.controllers import (
     PhaseAdaptiveQueueController,
 )
 from repro.isa.registers import register_index
-from repro.timing.cacti import CacheGeometry
 from repro.timing.tables import ADAPTIVE_DCACHE_CONFIGS
 
 

@@ -1,0 +1,216 @@
+"""Behaviour-preservation tests for the hot-path fast-forward.
+
+The quiescent-phase fast-forward must be purely a wall-clock optimisation:
+simulated results are bit-identical with it on or off, and it stands down
+whenever skipping could interact with the adaptive controllers (a
+reconfiguration in progress) or with jittered clocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.domains import Domain
+from repro.core.processor import MCDProcessor
+from repro.engine import SimulationJob, SpecKind, make_trace, run_job
+from repro.workloads import get_workload
+
+
+def run_with_fast_forward(job: SimulationJob, enabled: bool) -> tuple[MCDProcessor, object]:
+    processor = MCDProcessor(
+        job.build_spec(),
+        control=job.resolved_control(),
+        phase_adaptive=job.phase_adaptive,
+        seed=job.seed,
+        fast_forward=enabled,
+    )
+    trace = make_trace(job.profile, seed=job.trace_seed)
+    result = processor.run(
+        trace.instructions(),
+        max_instructions=job.resolved_window(),
+        warmup_instructions=job.resolved_warmup(),
+        workload_name=job.profile.name,
+    )
+    return processor, result
+
+
+class TestFastForwardGolden:
+    def test_fig6_workload_run_result_identical_with_and_without_fast_forward(self):
+        """Golden-value check: a fixed-seed fig6 workload is bit-identical."""
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=2_000,
+            warmup=1_500,
+        )
+        with_ff_processor, with_ff = run_with_fast_forward(job, True)
+        without_ff_processor, without_ff = run_with_fast_forward(job, False)
+        # The comparison only means something if fast-forward actually fired.
+        assert with_ff_processor.fast_forward_cycles > 0
+        assert without_ff_processor.fast_forward_cycles == 0
+        assert with_ff == without_ff
+
+    def test_phase_adaptive_run_result_identical_with_and_without_fast_forward(self):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=2_000,
+            warmup=1_500,
+        )
+        _, with_ff = run_with_fast_forward(job, True)
+        _, without_ff = run_with_fast_forward(job, False)
+        assert with_ff == without_ff
+
+    def test_engine_path_uses_fast_forward_by_default(self):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=1_200,
+            warmup=800,
+        )
+        _, direct = run_with_fast_forward(job, True)
+        assert run_job(job) == direct
+
+
+def drained_processor() -> MCDProcessor:
+    """A processor forced into the quiescent state the main loop checks for.
+
+    A short run builds the front end and realistic clock state; the in-flight
+    machinery is then explicitly drained, which is exactly the precondition
+    under which the main loop consults ``_try_fast_forward``.
+    """
+    job = SimulationJob(
+        profile=get_workload("gcc"),
+        spec_kind=SpecKind.BEST_SYNCHRONOUS,
+        window=400,
+        warmup=200,
+    )
+    processor, _ = run_with_fast_forward(job, True)
+    assert processor.frontend is not None
+    processor.rob.reset()
+    processor.frontend.fetch_queue.clear()
+    processor.frontend._waiting_branch = None
+    processor.lsq.reset()
+    processor.int_queue.reset()
+    processor.fp_queue.reset()
+    processor._pending_events.clear()
+    processor._changes_in_progress.clear()
+    processor.fast_forward_invocations = 0
+    processor.fast_forward_cycles = 0
+    assert processor.rob.is_empty()
+    assert processor.frontend.fetch_queue.occupancy == 0
+    return processor
+
+
+def clock_tuple(processor: MCDProcessor):
+    return (
+        processor.clocks[Domain.FRONT_END],
+        processor.clocks[Domain.INTEGER],
+        processor.clocks[Domain.FLOATING_POINT],
+        processor.clocks[Domain.LOAD_STORE],
+    )
+
+
+class TestFastForwardGating:
+    def test_skips_idle_edges_up_to_the_stall_horizon(self):
+        processor = drained_processor()
+        clocks = clock_tuple(processor)
+        fe_clock = clocks[0]
+        processor.frontend._stall_until = fe_clock.next_edge + 50 * fe_clock.period_ps
+        stalls_before = processor.frontend.stats.fetch_stall_cycles
+
+        processor._try_fast_forward(*clocks)
+
+        assert processor.fast_forward_invocations == 1
+        assert processor.fast_forward_cycles > 0
+        horizon = fe_clock.edge_at_or_after(processor.frontend._stall_until)
+        for clock in clocks:
+            assert clock.next_edge >= horizon
+        # Skipped front-end edges are accounted as fetch stalls, as the
+        # one-cycle-at-a-time path would have counted them.
+        assert processor.frontend.stats.fetch_stall_cycles > stalls_before
+
+    def test_bypassed_while_a_reconfiguration_is_in_progress(self):
+        """Active controllers (a change mid-flight) disable the fast-forward."""
+        processor = drained_processor()
+        clocks = clock_tuple(processor)
+        fe_clock = clocks[0]
+        processor.frontend._stall_until = fe_clock.next_edge + 50 * fe_clock.period_ps
+        processor._changes_in_progress.add(Domain.LOAD_STORE)
+
+        before = [clock.next_edge for clock in clocks]
+        processor._try_fast_forward(*clocks)
+
+        assert processor.fast_forward_invocations == 0
+        assert processor.fast_forward_cycles == 0
+        assert [clock.next_edge for clock in clocks] == before
+
+    def test_bypassed_while_fetch_waits_on_an_unresolved_branch(self):
+        processor = drained_processor()
+        clocks = clock_tuple(processor)
+        processor.frontend._waiting_branch = object()
+
+        processor._try_fast_forward(*clocks)
+
+        assert processor.fast_forward_cycles == 0
+
+    def test_pending_reconfiguration_event_caps_the_horizon(self):
+        processor = drained_processor()
+        clocks = clock_tuple(processor)
+        fe_clock = clocks[0]
+        period = fe_clock.period_ps
+        processor.frontend._stall_until = fe_clock.next_edge + 100 * period
+        event_time = fe_clock.next_edge + 10 * period
+        fired = []
+        processor._pending_events.append((event_time, lambda: fired.append(True)))
+
+        processor._try_fast_forward(*clocks)
+
+        # No domain skipped past the pending event, and it did not fire.
+        for clock in clocks:
+            assert clock.next_edge - clock.period_ps < event_time
+        assert not fired
+        assert processor._pending_events
+
+    def test_disabled_under_clock_jitter(self):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=300,
+            warmup=100,
+        )
+        processor = MCDProcessor(job.build_spec(), seed=1, jitter_fraction=0.1)
+        assert not processor._fast_forward_enabled
+
+    def test_explicitly_disabled_never_skips(self):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=2_000,
+            warmup=1_500,
+        )
+        processor, _ = run_with_fast_forward(job, False)
+        assert processor.fast_forward_invocations == 0
+        assert processor.fast_forward_cycles == 0
+
+
+class TestBulkEdgeSkip:
+    def test_skip_edges_matches_individual_advances(self):
+        from repro.clocks.clock import DomainClock
+
+        bulk = DomainClock("test", 1.0)
+        stepwise = DomainClock("test", 1.0)
+        bulk.skip_edges(7)
+        for _ in range(7):
+            stepwise.advance()
+        assert bulk.next_edge == stepwise.next_edge
+        assert bulk.cycle_count == stepwise.cycle_count
+
+    def test_skip_edges_rejects_jittered_clocks(self):
+        from repro.clocks.clock import DomainClock
+
+        clock = DomainClock("test", 1.0, jitter_fraction=0.2, seed=3)
+        with pytest.raises(ValueError, match="jittered"):
+            clock.skip_edges(2)

@@ -1,6 +1,5 @@
 """Tests for the fetch engine / front end."""
 
-import pytest
 
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import OpClass

@@ -12,7 +12,6 @@ from repro.core import (
     adaptive_mcd_spec,
     base_adaptive_spec,
     best_overall_synchronous_spec,
-    synchronous_spec,
 )
 from repro.workloads import SyntheticTraceGenerator, WorkloadProfile
 

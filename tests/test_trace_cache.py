@@ -1,0 +1,81 @@
+"""Tests for the per-process trace memoisation layer."""
+
+from __future__ import annotations
+
+from repro.workloads import get_workload
+from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.trace_cache import ReplayableTrace, cached_trace, clear_trace_cache
+
+
+class TestReplayableTrace:
+    def test_replay_matches_fresh_generation(self):
+        profile = get_workload("gcc")
+        fresh = SyntheticTraceGenerator(profile, seed=1234).generate(3_000)
+        replayed = ReplayableTrace(profile, seed=1234).generate(3_000)
+        assert replayed == fresh
+        assert [inst.seq for inst in replayed] == [inst.seq for inst in fresh]
+
+    def test_second_consumer_replays_the_same_objects(self):
+        trace = ReplayableTrace(get_workload("gcc"), seed=7)
+        first_iter = trace.instructions()
+        first = [next(first_iter) for _ in range(500)]
+        second_iter = trace.instructions()
+        second = [next(second_iter) for _ in range(500)]
+        assert all(a is b for a, b in zip(first, second))
+        assert trace.materialised_length == 500
+
+    def test_generate_is_stateful_like_the_generator(self):
+        profile = get_workload("gcc")
+        generator = SyntheticTraceGenerator(profile, seed=9)
+        trace = ReplayableTrace(profile, seed=9)
+        assert trace.generate(300) == generator.generate(300)
+        # The second call continues the stream, exactly as the generator does.
+        assert trace.generate(300) == generator.generate(300)
+
+    def test_interleaved_consumers_stay_consistent(self):
+        trace = ReplayableTrace(get_workload("em3d"), seed=5)
+        ahead = trace.instructions()
+        behind = trace.instructions()
+        lead = [next(ahead) for _ in range(200)]
+        follow = [next(behind) for _ in range(200)]
+        assert all(a is b for a, b in zip(lead, follow))
+
+    def test_extends_on_demand(self):
+        trace = ReplayableTrace(get_workload("gcc"), seed=2)
+        trace.generate(100)
+        trace.generate(250)
+        assert trace.materialised_length == 350
+
+
+class TestCachedTrace:
+    def setup_method(self):
+        clear_trace_cache()
+
+    def teardown_method(self):
+        clear_trace_cache()
+
+    def test_same_profile_and_seed_share_a_trace(self):
+        profile = get_workload("gcc")
+        assert cached_trace(profile, seed=1) is cached_trace(profile, seed=1)
+
+    def test_different_seeds_get_distinct_traces(self):
+        profile = get_workload("gcc")
+        assert cached_trace(profile, seed=1) is not cached_trace(profile, seed=2)
+
+    def test_different_profiles_get_distinct_traces(self):
+        assert cached_trace(get_workload("gcc"), seed=1) is not cached_trace(
+            get_workload("em3d"), seed=1
+        )
+
+    def test_disabled_via_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
+        profile = get_workload("gcc")
+        assert cached_trace(profile, seed=1) is not cached_trace(profile, seed=1)
+
+    def test_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "2")
+        gcc = get_workload("gcc")
+        first = cached_trace(gcc, seed=1)
+        cached_trace(gcc, seed=2)
+        cached_trace(gcc, seed=3)  # evicts seed=1
+        assert cached_trace(gcc, seed=1) is not first
