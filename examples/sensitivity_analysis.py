@@ -1,0 +1,107 @@
+"""Timing-uncertainty sensitivity analysis over a small workload set.
+
+The paper's MCD results depend on its timing-uncertainty model: clock jitter
+at every domain PLL and the 30 % arbitration window at clock-domain
+crossings, plus the control parameters of the phase-adaptive hardware.  This
+example sweeps those knobs through the engine-batched sensitivity driver and
+prints how the Figure 6 improvements move relative to the jitter-free rows
+(`d-program` / `d-phase`, in percentage points).
+
+Usage::
+
+    python examples/sensitivity_analysis.py [workload ...]
+        [--window N] [--warmup N] [--quick]
+        [--workers N|auto] [--cache-dir PATH]
+
+``--quick`` shrinks the windows and the grid to CI size.  Every grid job is
+submitted to the experiment engine as one batch, so ``--workers auto``
+spreads the whole sensitivity surface over the machine's cores, and a
+``--cache-dir`` makes repeated sweeps (and the embedded jitter-free Figure 6
+baseline) free.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.reporting import improvement_table
+from repro.analysis.sensitivity import (
+    QUICK_GRIDS,
+    QUICK_WARMUP,
+    QUICK_WINDOW,
+    sensitivity_sweep,
+)
+from repro.engine import make_engine
+from repro.workloads import get_workload
+
+
+def worker_count(value: str) -> int | str:
+    if value == "auto":
+        return value
+    try:
+        workers = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}"
+        ) from None
+    if workers < 1:
+        raise argparse.ArgumentTypeError("worker count must be at least 1")
+    return workers
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        description="Timing-uncertainty sensitivity sweep through the experiment engine"
+    )
+    parser.add_argument(
+        "workloads",
+        nargs="*",
+        default=["gcc", "em3d"],
+        help="workload names (default: gcc em3d)",
+    )
+    parser.add_argument("--window", type=int, default=None, help="measured instructions")
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up instructions")
+    parser.add_argument(
+        "--quick", action="store_true", help="CI-sized windows and grid"
+    )
+    parser.add_argument(
+        "--workers",
+        type=worker_count,
+        default=1,
+        help="worker processes for the sweep ('auto' = one per core)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent on-disk result cache"
+    )
+    return parser.parse_args()
+
+
+def main() -> None:
+    args = parse_args()
+    profiles = [get_workload(name) for name in args.workloads]
+    engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+
+    window, warmup = args.window, args.warmup
+    grids = {}
+    if args.quick:
+        window = window if window is not None else QUICK_WINDOW
+        warmup = warmup if warmup is not None else QUICK_WARMUP
+        grids = dict(QUICK_GRIDS)
+
+    report = sensitivity_sweep(
+        profiles, window=window, warmup=warmup, engine=engine, **grids
+    )
+
+    print("Jitter-free Figure 6 baseline:")
+    print(improvement_table(report.baseline))
+    print()
+    print(
+        f"Sensitivity surface ({len(report.points)} grid points; "
+        f"{engine.stats.simulations} simulations, "
+        f"{engine.stats.cache_hits} cache hits):"
+    )
+    print(report.render())
+
+
+if __name__ == "__main__":
+    main()

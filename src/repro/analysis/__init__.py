@@ -15,9 +15,17 @@ from repro.analysis.hardware_cost import (
 )
 from repro.analysis.reporting import format_table, improvement_table
 
-# The sweep module depends on repro.core (which itself uses
-# repro.analysis.metrics), so it is imported lazily to keep the package
+# The sweep and sensitivity modules depend on repro.core (which itself uses
+# repro.analysis.metrics), so they are imported lazily to keep the package
 # import-order independent.
+_SENSITIVITY_EXPORTS = {
+    "SensitivityAxis",
+    "SensitivityPoint",
+    "SensitivityReport",
+    "WorkloadSensitivity",
+    "sensitivity_sweep",
+}
+
 _SWEEP_EXPORTS = {
     "SweepResult",
     "WorkloadComparison",
@@ -41,6 +49,10 @@ def __getattr__(name):
         from repro.analysis import sweep
 
         return getattr(sweep, name)
+    if name in _SENSITIVITY_EXPORTS:
+        from repro.analysis import sensitivity
+
+        return getattr(sensitivity, name)
     raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
 
 __all__ = [
@@ -52,6 +64,11 @@ __all__ = [
     "phase_adaptive_cache_hardware",
     "total_equivalent_gates",
     "ilp_tracker_storage_bits",
+    "SensitivityAxis",
+    "SensitivityPoint",
+    "SensitivityReport",
+    "WorkloadSensitivity",
+    "sensitivity_sweep",
     "SweepResult",
     "WorkloadComparison",
     "best_synchronous_configuration",

@@ -1,0 +1,515 @@
+"""Timing-uncertainty sensitivity analysis.
+
+The paper's MCD results rest on its timing-uncertainty model — clock jitter
+at every domain PLL and the 30 % arbitration window at domain crossings —
+and on the control parameters of the phase-adaptive hardware (adaptation
+interval, hysteresis).  This module sweeps those knobs over a workload set
+and reports how the Figure 6 improvements move relative to the jitter-free
+rows.
+
+The driver is engine-batched: it first runs the ordinary jitter-free Figure 6
+comparison (which fixes the Program-Adaptive winner per workload), then
+submits *every* grid point for *every* workload to the
+:class:`~repro.engine.ExperimentEngine` as one batch, so a parallel executor
+sees the whole sensitivity surface at once and the result cache de-duplicates
+points that coincide with the baseline (e.g. a controller-knob value for the
+Program-Adaptive machine, which has no controllers).
+
+Each grid point varies exactly one knob from its default (one-at-a-time
+sensitivity, as the paper reports it):
+
+* ``jitter_fraction`` — peak-to-peak clock jitter per domain period;
+* ``sync_window_fraction`` — the unsafe capture window at domain crossings;
+* ``interval_scale`` — the phase-adaptive adaptation interval, as a multiple
+  of the window-scaled default;
+* ``cache_hysteresis`` / ``queue_hysteresis`` — the controllers' change
+  margins.
+
+The timing-uncertainty knobs apply to the MCD machines only; the fully
+synchronous baseline runs a single global clock with inter-domain
+synchronisation disabled, so every improvement — baseline and grid point —
+is measured against the same jitter-free synchronous row.
+
+Run as a module for the CLI::
+
+    PYTHONPATH=src python -m repro.analysis.sensitivity --workloads gcc em3d --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweep import (
+    WorkloadComparison,
+    _phase_adaptive_job,
+    _program_adaptive_job,
+    _resolve_engine,
+    compare_workloads,
+)
+from repro.core.controllers.params import AdaptiveControlParams
+from repro.engine import (
+    DEFAULT_TRACE_SEED,
+    ExperimentEngine,
+    SimulationJob,
+    default_control_params,
+    make_engine,
+)
+from repro.workloads.characteristics import WorkloadProfile
+
+__all__ = [
+    "AXES",
+    "FULL_GRIDS",
+    "QUICK_GRIDS",
+    "QUICK_WARMUP",
+    "QUICK_WINDOW",
+    "SensitivityAxis",
+    "SensitivityPoint",
+    "SensitivityReport",
+    "WorkloadSensitivity",
+    "sensitivity_sweep",
+    "main",
+]
+
+#: Axis names, as they appear in reports and point records.
+AXIS_JITTER = "jitter_fraction"
+AXIS_SYNC_WINDOW = "sync_window_fraction"
+AXIS_INTERVAL = "interval_scale"
+AXIS_CACHE_HYSTERESIS = "cache_hysteresis"
+AXIS_QUEUE_HYSTERESIS = "queue_hysteresis"
+
+AXES = (
+    AXIS_JITTER,
+    AXIS_SYNC_WINDOW,
+    AXIS_INTERVAL,
+    AXIS_CACHE_HYSTERESIS,
+    AXIS_QUEUE_HYSTERESIS,
+)
+
+#: Default grids.  Baseline values (jitter 0, window 0.3, scale 1.0 and the
+#: AdaptiveControlParams hysteresis defaults) are implicit — the baseline row
+#: carries them — so the grids list only the perturbed values.
+DEFAULT_JITTER_FRACTIONS = (0.02, 0.05, 0.10)
+DEFAULT_SYNC_WINDOW_FRACTIONS = (0.15, 0.45)
+DEFAULT_INTERVAL_SCALES = (0.5, 2.0)
+DEFAULT_CACHE_HYSTERESIS = (0.0, 0.16)
+DEFAULT_QUEUE_HYSTERESIS = (0.15, 0.45)
+
+#: The full grids as ``sensitivity_sweep`` keyword arguments.
+FULL_GRIDS: Mapping[str, tuple[float, ...]] = {
+    "jitter_fractions": DEFAULT_JITTER_FRACTIONS,
+    "sync_window_fractions": DEFAULT_SYNC_WINDOW_FRACTIONS,
+    "interval_scales": DEFAULT_INTERVAL_SCALES,
+    "cache_hysteresis_values": DEFAULT_CACHE_HYSTERESIS,
+    "queue_hysteresis_values": DEFAULT_QUEUE_HYSTERESIS,
+}
+
+#: CI-sized parameterisation, shared by the CLI ``--quick`` flag, the example
+#: script and the bench suite so they cannot drift apart: one value per axis
+#: plus small windows.
+QUICK_GRIDS: Mapping[str, tuple[float, ...]] = {
+    "jitter_fractions": (0.05,),
+    "sync_window_fractions": (0.45,),
+    "interval_scales": (0.5,),
+    "cache_hysteresis_values": (0.0,),
+    "queue_hysteresis_values": (0.15,),
+}
+QUICK_WINDOW = 1_500
+QUICK_WARMUP = 2_500
+
+
+@dataclass(slots=True)
+class SensitivityAxis:
+    """One knob and the values it sweeps over."""
+
+    name: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXES:
+            raise ValueError(f"unknown sensitivity axis {self.name!r}; known: {AXES}")
+
+
+@dataclass(slots=True)
+class WorkloadSensitivity:
+    """One (grid point, workload) cell: improvements and their deltas."""
+
+    workload: str
+    program_improvement: float
+    phase_improvement: float
+    program_delta: float
+    phase_delta: float
+
+
+@dataclass(slots=True)
+class SensitivityPoint:
+    """One grid point: a single knob moved off its default."""
+
+    axis: str
+    value: float
+    per_workload: list[WorkloadSensitivity] = field(default_factory=list)
+
+    def _mean(self, attribute: str) -> float:
+        if not self.per_workload:
+            return 0.0
+        return sum(getattr(cell, attribute) for cell in self.per_workload) / len(
+            self.per_workload
+        )
+
+    @property
+    def program_improvement(self) -> float:
+        """Mean Program-Adaptive improvement over the synchronous baseline."""
+        return self._mean("program_improvement")
+
+    @property
+    def phase_improvement(self) -> float:
+        """Mean Phase-Adaptive improvement over the synchronous baseline."""
+        return self._mean("phase_improvement")
+
+    @property
+    def program_delta(self) -> float:
+        """Mean change versus the jitter-free Program-Adaptive improvement."""
+        return self._mean("program_delta")
+
+    @property
+    def phase_delta(self) -> float:
+        """Mean change versus the jitter-free Phase-Adaptive improvement."""
+        return self._mean("phase_delta")
+
+
+@dataclass(slots=True)
+class SensitivityReport:
+    """The full sensitivity surface over a workload set."""
+
+    workloads: list[str]
+    baseline: list[WorkloadComparison]
+    points: list[SensitivityPoint]
+
+    @property
+    def baseline_program_improvement(self) -> float:
+        """Mean jitter-free Program-Adaptive improvement (the Figure 6 bar)."""
+        if not self.baseline:
+            return 0.0
+        return sum(row.program_improvement for row in self.baseline) / len(self.baseline)
+
+    @property
+    def baseline_phase_improvement(self) -> float:
+        """Mean jitter-free Phase-Adaptive improvement (the Figure 6 bar)."""
+        if not self.baseline:
+            return 0.0
+        return sum(row.phase_improvement for row in self.baseline) / len(self.baseline)
+
+    def points_for(self, axis: str) -> list[SensitivityPoint]:
+        """The grid points of one axis, in sweep order."""
+        return [point for point in self.points if point.axis == axis]
+
+    def render(self) -> str:
+        """Plain-text summary table (means across the workload set)."""
+        rows: list[tuple[object, ...]] = [
+            (
+                "baseline",
+                "-",
+                f"{self.baseline_program_improvement * 100:+.1f}%",
+                f"{self.baseline_phase_improvement * 100:+.1f}%",
+                "-",
+                "-",
+            )
+        ]
+        for point in self.points:
+            rows.append(
+                (
+                    point.axis,
+                    f"{point.value:g}",
+                    f"{point.program_improvement * 100:+.1f}%",
+                    f"{point.phase_improvement * 100:+.1f}%",
+                    f"{point.program_delta * 100:+.2f}pp",
+                    f"{point.phase_delta * 100:+.2f}pp",
+                )
+            )
+        return format_table(
+            ("axis", "value", "program", "phase", "d-program", "d-phase"), rows
+        )
+
+
+def _point_job_kwargs(
+    axis: str, value: float
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """(program-job kwargs, phase-job kwargs) realising one grid point.
+
+    Timing-uncertainty knobs apply to both MCD machines; controller knobs
+    only exist on the phase-adaptive machine, so the Program-Adaptive job for
+    those points is identical to the baseline's and is served from the
+    engine's result cache rather than re-simulated.
+    """
+    if axis == AXIS_JITTER:
+        knob: dict[str, Any] = {"jitter_fraction": value}
+        return knob, dict(knob)
+    if axis == AXIS_SYNC_WINDOW:
+        knob = {"sync_window_fraction": value}
+        return knob, dict(knob)
+    if axis == AXIS_CACHE_HYSTERESIS:
+        return {}, {"control_overrides": {"cache_hysteresis": value}}
+    if axis == AXIS_QUEUE_HYSTERESIS:
+        return {}, {"control_overrides": {"queue_hysteresis": value}}
+    if axis == AXIS_INTERVAL:
+        # Resolved per profile below: the default interval is window-scaled.
+        return {}, {"_interval_scale": value}
+    raise ValueError(f"unknown sensitivity axis {axis!r}")
+
+
+def _scaled_interval(
+    scale: float,
+    profile: WorkloadProfile,
+    window: int | None,
+    control: AdaptiveControlParams | None,
+) -> int:
+    """The adaptation interval at *scale* times a profile's default."""
+    if control is not None:
+        base = control.interval_instructions
+    else:
+        resolved_window = window if window is not None else profile.simulation_window
+        base = default_control_params(resolved_window).interval_instructions
+    return max(100, int(round(base * scale)))
+
+
+def sensitivity_sweep(
+    profiles: Sequence[WorkloadProfile],
+    *,
+    jitter_fractions: Sequence[float] = DEFAULT_JITTER_FRACTIONS,
+    sync_window_fractions: Sequence[float] = DEFAULT_SYNC_WINDOW_FRACTIONS,
+    interval_scales: Sequence[float] = DEFAULT_INTERVAL_SCALES,
+    cache_hysteresis_values: Sequence[float] = DEFAULT_CACHE_HYSTERESIS,
+    queue_hysteresis_values: Sequence[float] = DEFAULT_QUEUE_HYSTERESIS,
+    search_mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+    engine: ExperimentEngine | None = None,
+) -> SensitivityReport:
+    """Sweep the timing-uncertainty and controller knobs over *profiles*.
+
+    Runs the jitter-free Figure 6 comparison first (fixing each workload's
+    Program-Adaptive winner), then evaluates every grid point against those
+    rows: the Program-Adaptive machine re-runs at the *same* winning indices
+    under the knob, and the Phase-Adaptive machine re-runs with its
+    controllers under the knob.  Improvements are always measured against the
+    jitter-free synchronous baseline row, so each point's ``*_delta`` is the
+    movement of the Figure 6 result attributable to that knob alone.
+
+    Pass empty sequences to drop an axis.  All grid jobs are submitted as a
+    single engine batch.
+    """
+    eng = _resolve_engine(engine)
+    profiles = list(profiles)
+    baseline = compare_workloads(
+        profiles,
+        search_mode=search_mode,
+        window=window,
+        warmup=warmup,
+        control=control,
+        trace_seed=trace_seed,
+        seed=seed,
+        engine=eng,
+    )
+
+    axes = (
+        SensitivityAxis(AXIS_JITTER, tuple(jitter_fractions)),
+        SensitivityAxis(AXIS_SYNC_WINDOW, tuple(sync_window_fractions)),
+        SensitivityAxis(AXIS_INTERVAL, tuple(interval_scales)),
+        SensitivityAxis(AXIS_CACHE_HYSTERESIS, tuple(cache_hysteresis_values)),
+        SensitivityAxis(AXIS_QUEUE_HYSTERESIS, tuple(queue_hysteresis_values)),
+    )
+
+    points = [
+        SensitivityPoint(axis=axis.name, value=value)
+        for axis in axes
+        for value in axis.values
+    ]
+
+    jobs: list[SimulationJob] = []
+    for point in points:
+        program_kwargs, phase_kwargs = _point_job_kwargs(point.axis, point.value)
+        for profile, row in zip(profiles, baseline):
+            resolved_phase_kwargs = dict(phase_kwargs)
+            scale = resolved_phase_kwargs.pop("_interval_scale", None)
+            if scale is not None:
+                resolved_phase_kwargs["control_overrides"] = {
+                    "interval_instructions": _scaled_interval(
+                        scale, profile, window, control
+                    )
+                }
+            jobs.append(
+                _program_adaptive_job(
+                    profile,
+                    row.program_best_indices,
+                    window=window,
+                    warmup=warmup,
+                    trace_seed=trace_seed,
+                    seed=seed,
+                    **program_kwargs,
+                )
+            )
+            jobs.append(
+                _phase_adaptive_job(
+                    profile,
+                    window=window,
+                    warmup=warmup,
+                    control=control,
+                    trace_seed=trace_seed,
+                    seed=seed,
+                    **resolved_phase_kwargs,
+                )
+            )
+    results = eng.run_all(jobs)
+
+    cursor = 0
+    for point in points:
+        for profile, row in zip(profiles, baseline):
+            program_result = results[cursor]
+            phase_result = results[cursor + 1]
+            cursor += 2
+            program_improvement = program_result.improvement_over(row.synchronous)
+            phase_improvement = phase_result.improvement_over(row.synchronous)
+            point.per_workload.append(
+                WorkloadSensitivity(
+                    workload=profile.name,
+                    program_improvement=program_improvement,
+                    phase_improvement=phase_improvement,
+                    program_delta=program_improvement - row.program_improvement,
+                    phase_delta=phase_improvement - row.phase_improvement,
+                )
+            )
+
+    return SensitivityReport(
+        workloads=[profile.name for profile in profiles],
+        baseline=baseline,
+        points=points,
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+#: Workloads used when the CLI is given none: an instruction-bound code, a
+#: memory-bound code and a strongly phased application.
+DEFAULT_CLI_WORKLOADS = ("gcc", "em3d", "apsi")
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.sensitivity",
+        description="Sweep the timing-uncertainty knobs and report Figure 6 deltas.",
+    )
+    parser.add_argument(
+        "--workloads",
+        nargs="+",
+        default=list(DEFAULT_CLI_WORKLOADS),
+        help=f"workload names (default: {' '.join(DEFAULT_CLI_WORKLOADS)})",
+    )
+    parser.add_argument(
+        "--jitter",
+        nargs="*",
+        type=float,
+        default=None,
+        help=f"jitter-fraction grid (default: {DEFAULT_JITTER_FRACTIONS})",
+    )
+    parser.add_argument(
+        "--sync-window",
+        nargs="*",
+        type=float,
+        default=None,
+        help=f"sync-window-fraction grid (default: {DEFAULT_SYNC_WINDOW_FRACTIONS})",
+    )
+    parser.add_argument(
+        "--interval-scale",
+        nargs="*",
+        type=float,
+        default=None,
+        help=f"adaptation-interval scale grid (default: {DEFAULT_INTERVAL_SCALES})",
+    )
+    parser.add_argument(
+        "--cache-hysteresis",
+        nargs="*",
+        type=float,
+        default=None,
+        help=f"cache-hysteresis grid (default: {DEFAULT_CACHE_HYSTERESIS})",
+    )
+    parser.add_argument(
+        "--queue-hysteresis",
+        nargs="*",
+        type=float,
+        default=None,
+        help=f"queue-hysteresis grid (default: {DEFAULT_QUEUE_HYSTERESIS})",
+    )
+    parser.add_argument("--window", type=int, default=None, help="measured window")
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up instructions")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small windows and a reduced grid (CI-sized)",
+    )
+    parser.add_argument(
+        "--workers",
+        default="1",
+        help='worker processes ("auto" = one per core; default 1)',
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, help="persistent on-disk result cache directory"
+    )
+    return parser.parse_args(argv)
+
+
+def _grid(
+    explicit: Sequence[float] | None, fallback: Sequence[float]
+) -> Sequence[float]:
+    return explicit if explicit is not None else fallback
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    from repro.workloads import get_workload
+
+    args = _parse_args(argv)
+    profiles = [get_workload(name) for name in args.workloads]
+    engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+
+    window, warmup = args.window, args.warmup
+    defaults = QUICK_GRIDS if args.quick else FULL_GRIDS
+    if args.quick:
+        window = window if window is not None else QUICK_WINDOW
+        warmup = warmup if warmup is not None else QUICK_WARMUP
+    grids: Mapping[str, Sequence[float]] = {
+        "jitter_fractions": _grid(args.jitter, defaults["jitter_fractions"]),
+        "sync_window_fractions": _grid(
+            args.sync_window, defaults["sync_window_fractions"]
+        ),
+        "interval_scales": _grid(args.interval_scale, defaults["interval_scales"]),
+        "cache_hysteresis_values": _grid(
+            args.cache_hysteresis, defaults["cache_hysteresis_values"]
+        ),
+        "queue_hysteresis_values": _grid(
+            args.queue_hysteresis, defaults["queue_hysteresis_values"]
+        ),
+    }
+
+    report = sensitivity_sweep(
+        profiles, window=window, warmup=warmup, engine=engine, **grids
+    )
+    print(
+        f"Sensitivity over {', '.join(report.workloads)} "
+        f"({len(report.points)} grid points; "
+        f"{engine.stats.simulations} simulations, "
+        f"{engine.stats.cache_hits} cache hits)"
+    )
+    print()
+    print(report.render())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI smoke job
+    raise SystemExit(main())

@@ -29,7 +29,7 @@ to control placement and caching; the default is the process-wide engine
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.metrics import RunResult, relative_improvement
 from repro.core.configuration import (
@@ -129,6 +129,8 @@ def _synchronous_job(
     warmup: int | None,
     trace_seed: int,
     seed: int,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
 ) -> SimulationJob:
     return SimulationJob(
         profile=profile,
@@ -138,6 +140,8 @@ def _synchronous_job(
         warmup=warmup,
         trace_seed=trace_seed,
         seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
     )
 
 
@@ -149,6 +153,8 @@ def _program_adaptive_job(
     warmup: int | None,
     trace_seed: int,
     seed: int,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
 ) -> SimulationJob:
     # Whole-program runs use only the A partitions: a miss in A goes straight
     # to the next level of the hierarchy, as in the paper.
@@ -161,6 +167,8 @@ def _program_adaptive_job(
         warmup=warmup,
         trace_seed=trace_seed,
         seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
     )
 
 
@@ -172,6 +180,9 @@ def _phase_adaptive_job(
     control: AdaptiveControlParams | None,
     trace_seed: int,
     seed: int,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
+    control_overrides: Mapping[str, Any] | None = None,
 ) -> SimulationJob:
     return SimulationJob(
         profile=profile,
@@ -183,6 +194,9 @@ def _phase_adaptive_job(
         phase_adaptive=True,
         control=control,
         seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
+        control_overrides=control_overrides,
     )
 
 
@@ -199,6 +213,8 @@ def run_synchronous(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
     engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on a fully synchronous machine.
@@ -208,7 +224,14 @@ def run_synchronous(
     16-entry issue queues).
     """
     job = _synchronous_job(
-        profile, indices, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+        profile,
+        indices,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
     )
     return _resolve_engine(engine).run(job)
 
@@ -221,6 +244,8 @@ def run_program_adaptive(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
     engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on the adaptive MCD machine fixed at *indices*.
@@ -229,7 +254,14 @@ def run_program_adaptive(
     used: a miss in A goes straight to the next level of the hierarchy.
     """
     job = _program_adaptive_job(
-        profile, indices, window=window, warmup=warmup, trace_seed=trace_seed, seed=seed
+        profile,
+        indices,
+        window=window,
+        warmup=warmup,
+        trace_seed=trace_seed,
+        seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
     )
     return _resolve_engine(engine).run(job)
 
@@ -242,12 +274,17 @@ def run_phase_adaptive(
     control: AdaptiveControlParams | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
+    control_overrides: Mapping[str, Any] | None = None,
     engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate *profile* on the phase-adaptive MCD machine.
 
     The machine starts in the base (smallest / fastest) configuration with B
     partitions enabled and the hardware controllers active.
+    ``control_overrides`` patches individual controller parameters (interval,
+    hysteresis, ...) on top of the window-scaled defaults.
     """
     job = _phase_adaptive_job(
         profile,
@@ -256,6 +293,9 @@ def run_phase_adaptive(
         control=control,
         trace_seed=trace_seed,
         seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
+        control_overrides=control_overrides,
     )
     return _resolve_engine(engine).run(job)
 
@@ -269,6 +309,8 @@ def evaluate_configuration(
     warmup: int | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
     engine: ExperimentEngine | None = None,
 ) -> RunResult:
     """Simulate one explicit configuration point (adaptive or synchronous)."""
@@ -280,6 +322,8 @@ def evaluate_configuration(
             warmup=warmup,
             trace_seed=trace_seed,
             seed=seed,
+            jitter_fraction=jitter_fraction,
+            sync_window_fraction=sync_window_fraction,
         )
     elif style == "synchronous":
         job = _synchronous_job(
@@ -289,6 +333,8 @@ def evaluate_configuration(
             warmup=warmup,
             trace_seed=trace_seed,
             seed=seed,
+            jitter_fraction=jitter_fraction,
+            sync_window_fraction=sync_window_fraction,
         )
     else:
         raise ValueError(f"unknown style {style!r}; use 'adaptive' or 'synchronous'")
@@ -509,6 +555,9 @@ def compare_workload(
     control: AdaptiveControlParams | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
+    control_overrides: Mapping[str, Any] | None = None,
     engine: ExperimentEngine | None = None,
 ) -> WorkloadComparison:
     """Run the full three-machine comparison for one workload (Figure 6 row)."""
@@ -521,6 +570,9 @@ def compare_workload(
         control=control,
         trace_seed=trace_seed,
         seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
+        control_overrides=control_overrides,
         engine=engine,
     )[0]
 
@@ -535,6 +587,9 @@ def compare_workloads(
     control: AdaptiveControlParams | None = None,
     trace_seed: int = DEFAULT_TRACE_SEED,
     seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
+    control_overrides: Mapping[str, Any] | None = None,
     engine: ExperimentEngine | None = None,
 ) -> list[WorkloadComparison]:
     """Run the Figure 6 comparison for every workload in *profiles*.
@@ -545,6 +600,14 @@ def compare_workloads(
     second, much smaller batch evaluates the factored search's combined
     winners where they were not already simulated.  Results are identical to
     calling :func:`compare_workload` per profile.
+
+    The timing-uncertainty knobs (``jitter_fraction``,
+    ``sync_window_fraction``) and the controller overrides apply to the MCD
+    machines only: the fully synchronous baseline runs a single global clock
+    with inter-domain synchronisation disabled, so the paper models it free
+    of inter-domain timing uncertainty.  Improvements under a knob setting
+    are therefore measured against the same baseline row as the jitter-free
+    experiment, which is what the sensitivity driver reports deltas over.
     """
     eng = _resolve_engine(engine)
     candidates = _search_candidates(search_mode, "adaptive")
@@ -569,6 +632,9 @@ def compare_workloads(
                 control=control,
                 trace_seed=trace_seed,
                 seed=seed,
+                jitter_fraction=jitter_fraction,
+                sync_window_fraction=sync_window_fraction,
+                control_overrides=control_overrides,
             )
         )
         jobs.extend(
@@ -579,6 +645,8 @@ def compare_workloads(
                 warmup=warmup,
                 trace_seed=trace_seed,
                 seed=seed,
+                jitter_fraction=jitter_fraction,
+                sync_window_fraction=sync_window_fraction,
             )
             for indices in candidates
         )
@@ -609,6 +677,8 @@ def compare_workloads(
                         warmup=warmup,
                         trace_seed=trace_seed,
                         seed=seed,
+                        jitter_fraction=jitter_fraction,
+                        sync_window_fraction=sync_window_fraction,
                     )
                 )
     for (row, combined), result in zip(combined_slots, eng.run_all(combined_jobs)):

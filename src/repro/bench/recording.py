@@ -18,6 +18,11 @@ from repro.bench.schema import BenchEntry
 #: Recorded entries kept per experiment (oldest dropped first).
 BENCH_HISTORY_LIMIT = 50
 
+#: Suites whose history rides in another suite's file.  The sensitivity
+#: suite records into the historical ``BENCH_sweep.json`` trajectory (under
+#: its own experiment key), keeping all sweep-layer timings in one place.
+SUITE_FILE_ALIASES = {"sensitivity": "sweep"}
+
 
 def default_output_dir() -> Path:
     """The directory BENCH files live in: the enclosing repository root.
@@ -37,9 +42,9 @@ def default_output_dir() -> Path:
 
 
 def bench_file_for_suite(suite: str, output_dir: Path | None = None) -> Path:
-    """Path of the history file for *suite*."""
+    """Path of the history file for *suite* (alias-aware)."""
     base = output_dir if output_dir is not None else default_output_dir()
-    return base / f"BENCH_{suite}.json"
+    return base / f"BENCH_{SUITE_FILE_ALIASES.get(suite, suite)}.json"
 
 
 def load_history(path: Path) -> dict[str, list[dict[str, Any]]]:

@@ -14,6 +14,13 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.analysis.sensitivity import (
+    FULL_GRIDS,
+    QUICK_GRIDS,
+    QUICK_WARMUP,
+    QUICK_WINDOW,
+    sensitivity_sweep,
+)
 from repro.analysis.sweep import compare_workload, compare_workloads, evaluate_configuration
 from repro.bench.environment import EnvironmentFingerprint
 from repro.bench.schema import BenchEntry, BenchRun
@@ -178,11 +185,60 @@ def run_sweep_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
     return _entry("sweep", parameters, runs, calibration)
 
 
+#: Workload subset for the sensitivity suite: an instruction-bound code and a
+#: memory-bound one (quick), plus the two strongly phased applications (full).
+QUICK_SENSITIVITY_WORKLOADS = ("gcc", "em3d")
+FULL_SENSITIVITY_WORKLOADS = ("gcc", "em3d", "apsi", "art")
+
+
+def run_sensitivity_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time the timing-uncertainty sensitivity sweep (jitter path included).
+
+    Every grid point carries at least one jittered or knob-perturbed MCD
+    simulation, so this suite doubles as the performance guard for the
+    jittered fast-forward path.
+    """
+    window, warmup = (QUICK_WINDOW, QUICK_WARMUP) if quick else (4_000, 12_000)
+    names = QUICK_SENSITIVITY_WORKLOADS if quick else FULL_SENSITIVITY_WORKLOADS
+    profiles = tuple(get_workload(name) for name in names)
+    grids = dict(QUICK_GRIDS if quick else FULL_GRIDS)
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "workloads": list(names),
+        "search_mode": "factored",
+        **{axis: list(values) for axis, values in grids.items()},
+    }
+
+    engine = _fresh_engine(workers)
+    calibration = calibrate()
+    report, seconds = timed(
+        sensitivity_sweep,
+        profiles,
+        window=window,
+        warmup=warmup,
+        engine=engine,
+        **grids,
+    )
+    runs = [
+        BenchRun(
+            name="sensitivity_sweep",
+            seconds=seconds,
+            simulations=engine.stats.simulations,
+            cache_hits=engine.stats.cache_hits,
+            extra={"grid_points": len(report.points)},
+        )
+    ]
+    return _entry("sensitivity", parameters, runs, calibration)
+
+
 #: Registry of available suites.
 SUITES: dict[str, Callable[..., BenchEntry]] = {
     "fig2": run_fig2_suite,
     "fig6": run_fig6_suite,
     "sweep": run_sweep_suite,
+    "sensitivity": run_sensitivity_suite,
 }
 
 

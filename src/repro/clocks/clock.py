@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
-import random
 import zlib
 
 from repro.clocks.time import Picoseconds, ghz_to_period_ps, period_ps_to_ghz
+
+#: 2**32 — the crc32 output range, used to map per-edge digests onto [0, 1).
+_CRC_RANGE = 4294967296.0
 
 
 class DomainClock:
@@ -19,6 +21,17 @@ class DomainClock:
     new period takes effect from the *next* edge onward, which models a PLL
     that re-locks while the domain continues operating (XScale-style, as
     assumed in the paper).
+
+    Jitter is a deterministic, *index-addressable* offset stream: the
+    perturbation of edge *i* is a pure function of ``(name, seed, i)``
+    (crc32-based, like the trace RNGs, so it is identical across interpreter
+    invocations and worker processes).  Because no generator state is
+    consumed, :meth:`edge_at_or_after` can enumerate the exact future edge
+    times :meth:`advance` will later produce, and :meth:`skip_edges` can
+    bulk-consume jittered edges and land on precisely the same ``next_edge``
+    as the equivalent sequence of individual advances — which is what allows
+    the processor's quiescent-phase fast-forward to stay enabled on jittered
+    clocks.
 
     ``next_edge``, ``period_ps``, ``cycle_count`` and ``jitter_fraction`` are
     plain attributes (not properties): the simulator's main loop reads them
@@ -36,14 +49,21 @@ class DomainClock:
     jitter_fraction:
         Peak-to-peak jitter as a fraction of the period.  Each edge is
         perturbed by a deterministic pseudo-random offset drawn uniformly in
-        ``[-jitter/2, +jitter/2]``.  Zero (the default) disables jitter.
+        ``[-jitter/2, +jitter/2)``.  Zero (the default) disables jitter.
     seed:
-        Seed for the jitter generator, so runs are reproducible.
+        Seed for the jitter stream, so runs are reproducible.
     start_time_ps:
         Time of the first edge.
     """
 
-    __slots__ = ("name", "period_ps", "jitter_fraction", "next_edge", "cycle_count", "_rng")
+    __slots__ = (
+        "name",
+        "period_ps",
+        "jitter_fraction",
+        "next_edge",
+        "cycle_count",
+        "_jitter_key",
+    )
 
     def __init__(
         self,
@@ -61,7 +81,7 @@ class DomainClock:
         self.jitter_fraction = jitter_fraction
         # crc32, not hash(): str hashing is salted per process, which would
         # make jittered clocks non-reproducible across interpreter runs.
-        self._rng = random.Random(seed ^ zlib.crc32(name.encode()))
+        self._jitter_key = (seed ^ zlib.crc32(name.encode())) & 0xFFFFFFFF
         self.next_edge: Picoseconds = start_time_ps
         self.cycle_count = 0
 
@@ -82,43 +102,118 @@ class DomainClock:
             raise ValueError("period must be positive")
         self.period_ps = period_ps
 
+    def _jitter_step(self, index: int) -> Picoseconds:
+        """Jittered step leading to edge *index* (1-based advance count).
+
+        A pure function of ``(name, seed, index)`` and the current period:
+        the crc32 digest of the edge index under the clock's key, mapped to a
+        uniform offset in ``[-jitter/2, +jitter/2)``.
+        """
+        draw = zlib.crc32(index.to_bytes(8, "little"), self._jitter_key) / _CRC_RANGE
+        offset = (draw - 0.5) * self.jitter_fraction
+        return max(1, int(round(self.period_ps * (1.0 + offset))))
+
     def advance(self) -> Picoseconds:
         """Consume the current edge and return the time of the following one."""
-        self.cycle_count += 1
-        step = self.period_ps
+        index = self.cycle_count = self.cycle_count + 1
         if self.jitter_fraction:
-            half = self.jitter_fraction / 2.0
-            offset = self._rng.uniform(-half, half)
-            step = max(1, int(round(self.period_ps * (1.0 + offset))))
-        self.next_edge += step
+            self.next_edge += self._jitter_step(index)
+        else:
+            self.next_edge += self.period_ps
         return self.next_edge
 
     def skip_edges(self, count: int) -> None:
-        """Consume *count* edges at once without per-edge work.
+        """Consume *count* edges at once without per-edge cycle work.
 
-        Only valid for jitter-free clocks (jittered edges each need their own
-        pseudo-random draw to stay reproducible); the quiescent-phase
-        fast-forward in the processor uses this to batch idle cycles.
+        Valid on jittered clocks too: the offset stream is index-addressable,
+        so the bulk skip reproduces exactly the ``next_edge`` and
+        ``cycle_count`` the equivalent sequence of :meth:`advance` calls
+        would have produced.  The quiescent-phase fast-forward in the
+        processor uses this to batch idle cycles.
         """
         if count <= 0:
             return
         if self.jitter_fraction:
-            raise ValueError("cannot bulk-skip edges on a jittered clock")
-        self.cycle_count += count
-        self.next_edge += count * self.period_ps
+            index = self.cycle_count
+            edge = self.next_edge
+            step = self._jitter_step
+            for offset in range(1, count + 1):
+                edge += step(index + offset)
+            self.cycle_count = index + count
+            self.next_edge = edge
+        else:
+            self.cycle_count += count
+            self.next_edge += count * self.period_ps
 
     def edge_at_or_after(self, time_ps: Picoseconds) -> Picoseconds:
         """Return the first edge at or after *time_ps* without advancing.
 
         The calculation assumes the current period holds from the next edge
         forward, which is exactly the information available to hardware in
-        the consuming domain.
+        the consuming domain.  On a jittered clock the returned time is a
+        *true* jittered edge — the exact value a sequence of :meth:`advance`
+        calls would produce — never a nominal-period extrapolation.
         """
-        if time_ps <= self.next_edge:
-            return self.next_edge
-        delta = time_ps - self.next_edge
-        cycles = -(-delta // self.period_ps)  # ceiling division
-        return self.next_edge + cycles * self.period_ps
+        edge = self.next_edge
+        if time_ps <= edge:
+            return edge
+        if not self.jitter_fraction:
+            delta = time_ps - edge
+            cycles = -(-delta // self.period_ps)  # ceiling division
+            return edge + cycles * self.period_ps
+        index = self.cycle_count
+        step = self._jitter_step
+        while edge < time_ps:
+            index += 1
+            edge += step(index)
+        return edge
+
+    def edges_before(self, time_ps: Picoseconds) -> int:
+        """Number of unconsumed edges strictly before *time_ps*.
+
+        ``skip_edges(edges_before(t))`` consumes exactly the edges a
+        one-at-a-time loop would have walked before reaching time *t*;
+        :meth:`skip_edges_before` does both in one pass.
+        """
+        edge = self.next_edge
+        if edge >= time_ps:
+            return 0
+        if not self.jitter_fraction:
+            return -(-(time_ps - edge) // self.period_ps)  # ceiling division
+        count = 0
+        index = self.cycle_count
+        step = self._jitter_step
+        while edge < time_ps:
+            count += 1
+            index += 1
+            edge += step(index)
+        return count
+
+    def skip_edges_before(self, time_ps: Picoseconds) -> int:
+        """Consume every unconsumed edge strictly before *time_ps*.
+
+        Equivalent to ``skip_edges(edges_before(time_ps))`` but with a single
+        walk of the jitter stream — the fast-forward's batching primitive.
+        Returns the number of edges consumed.
+        """
+        edge = self.next_edge
+        if edge >= time_ps:
+            return 0
+        if not self.jitter_fraction:
+            count = -(-(time_ps - edge) // self.period_ps)  # ceiling division
+            self.cycle_count += count
+            self.next_edge += count * self.period_ps
+            return count
+        count = 0
+        index = self.cycle_count
+        step = self._jitter_step
+        while edge < time_ps:
+            count += 1
+            index += 1
+            edge += step(index)
+        self.cycle_count = index
+        self.next_edge = edge
+        return count
 
     def cycles_to_ps(self, cycles: int) -> Picoseconds:
         """Convert a cycle count at the current frequency to picoseconds."""

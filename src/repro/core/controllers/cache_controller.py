@@ -162,8 +162,15 @@ class PhaseAdaptiveCacheController:
         return decision
 
     def force_reset_interval(self) -> None:
-        """Discard the current interval's counters without deciding."""
+        """Discard the current interval's counters without deciding.
+
+        The consecutive-decision streak is cleared too: a discarded interval
+        produced no decision, so it must not count toward (or carry over) the
+        ``consecutive_decisions_required`` run of identical winners.
+        """
         self._instructions_in_interval = 0
+        self._pending_candidate = None
+        self._pending_count = 0
         for level in self.levels:
             level.cache.reset_interval()
 

@@ -30,7 +30,7 @@ from repro.core.controllers.params import AdaptiveControlParams
 from repro.core.controllers.queue_controller import PhaseAdaptiveQueueController
 from repro.core.domains import Domain
 from repro.core.pll import PLLModel
-from repro.core.synchronization import SynchronizationModel
+from repro.core.synchronization import DEFAULT_WINDOW_FRACTION, SynchronizationModel
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import EXECUTION_LATENCY, OpClass, uses_fp_queue
 from repro.isa.registers import is_fp_register, register_index
@@ -79,6 +79,10 @@ class MCDProcessor:
         Seed for the PLL lock-time sampler and clock jitter.
     jitter_fraction:
         Optional peak-to-peak clock jitter as a fraction of each period.
+    sync_window_fraction:
+        Fraction of the faster clock's period forming the unsafe capture
+        window at domain crossings (0.3 in the paper; the knob behind the
+        paper's synchronisation-window sensitivity analysis).
     fast_forward:
         Enable the quiescent-phase fast-forward: when the pipeline is
         completely drained and fetch is stalled (branch redirect or I-cache
@@ -87,8 +91,9 @@ class MCDProcessor:
         construction — the skipped edges provably perform no work beyond
         stall/occupancy accounting, which is applied in bulk — and therefore
         on by default; the flag exists so tests can compare both paths.
-        Automatically disabled under clock jitter (jittered edges each need
-        their own pseudo-random draw).
+        Valid under clock jitter too: the jitter offset stream is
+        index-addressable, so bulk-skipped edges land exactly where
+        one-at-a-time advances would have.
     """
 
     def __init__(
@@ -99,6 +104,7 @@ class MCDProcessor:
         phase_adaptive: bool = False,
         seed: int = 0,
         jitter_fraction: float = 0.0,
+        sync_window_fraction: float = DEFAULT_WINDOW_FRACTION,
         fast_forward: bool = True,
     ) -> None:
         if phase_adaptive and not spec.is_adaptive:
@@ -118,7 +124,9 @@ class MCDProcessor:
             for domain in Domain
         }
         self._clock_by_name = {domain.value: clock for domain, clock in self.clocks.items()}
-        self.sync = SynchronizationModel(enabled=spec.inter_domain_sync)
+        self.sync = SynchronizationModel(
+            enabled=spec.inter_domain_sync, window_fraction=sync_window_fraction
+        )
         self.pll = PLLModel(
             mean_us=self.control.pll_mean_us,
             min_us=self.control.pll_min_us,
@@ -169,7 +177,7 @@ class MCDProcessor:
         self._last_interval_duration: Picoseconds = 0
 
         # Quiescent-phase fast-forward (see the constructor docstring).
-        self._fast_forward_enabled = fast_forward and jitter_fraction == 0.0
+        self._fast_forward_enabled = fast_forward
         #: Number of times the fast-forward batch-consumed at least one edge.
         self.fast_forward_invocations = 0
         #: Total clock edges consumed in bulk across all domains.
@@ -424,26 +432,20 @@ class MCDProcessor:
                 horizon = earliest
 
         skipped = 0
-        edge = fe_clock.next_edge
-        if edge < horizon:
-            period = fe_clock.period_ps
-            count = -(-(horizon - edge) // period)  # edges strictly before horizon
-            fe_clock.skip_edges(count)
+        # skip_edges_before consumes the edges strictly before the horizon —
+        # on a jittered clock by walking the index-addressable offset stream
+        # once, landing exactly where per-edge advances would have.
+        count = fe_clock.skip_edges_before(horizon)
+        if count:
             frontend.stats.fetch_stall_cycles += count
             skipped += count
         for clock, queue in ((int_clock, self.int_queue), (fp_clock, self.fp_queue)):
-            edge = clock.next_edge
-            if edge < horizon:
-                count = -(-(horizon - edge) // clock.period_ps)
-                clock.skip_edges(count)
+            count = clock.skip_edges_before(horizon)
+            if count:
                 # The per-cycle occupancy sample of an empty queue, in bulk.
                 queue.occupancy_samples += count
                 skipped += count
-        edge = ls_clock.next_edge
-        if edge < horizon:
-            count = -(-(horizon - edge) // ls_clock.period_ps)
-            ls_clock.skip_edges(count)
-            skipped += count
+        skipped += ls_clock.skip_edges_before(horizon)
 
         if skipped:
             self.fast_forward_invocations += 1

@@ -20,6 +20,9 @@ from dataclasses import dataclass
 from repro.clocks.clock import DomainClock
 from repro.clocks.time import Picoseconds
 
+#: The paper's arbitration window: 30 % of the faster clock's period.
+DEFAULT_WINDOW_FRACTION = 0.3
+
 
 @dataclass(slots=True)
 class SynchronizationStats:
@@ -48,7 +51,9 @@ class SynchronizationModel:
         capture window (0.3 in the paper).
     """
 
-    def __init__(self, *, enabled: bool = True, window_fraction: float = 0.3) -> None:
+    def __init__(
+        self, *, enabled: bool = True, window_fraction: float = DEFAULT_WINDOW_FRACTION
+    ) -> None:
         if not 0 <= window_fraction < 1:
             raise ValueError("window_fraction must be in [0, 1)")
         self.enabled = enabled
@@ -92,6 +97,10 @@ class SynchronizationModel:
             if delayed:
                 self.stats.penalties += 1
         if delayed:
+            if consumer_clock.jitter_fraction:
+                # The extra cycle must land on a true jittered edge, not a
+                # nominal-period extrapolation the clock never produces.
+                return consumer_clock.edge_at_or_after(edge + 1)
             return edge + consumer_clock.period_ps
         return edge
 

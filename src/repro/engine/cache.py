@@ -18,6 +18,7 @@ import copy
 import json
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -42,11 +43,17 @@ class CacheStats:
 class ResultCache:
     """Two-tier (memory + optional disk) store of :class:`RunResult` objects."""
 
+    #: Temp files older than this (seconds) are presumed orphaned by a killed
+    #: writer and reaped when the cache is constructed.  The age guard keeps a
+    #: fresh cache instance from deleting a live concurrent writer's file.
+    STALE_TEMP_AGE_SECONDS = 3600.0
+
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self._memory: dict[str, RunResult] = {}
         self._directory = Path(directory) if directory is not None else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+            self._sweep_stale_temp_files(self.STALE_TEMP_AGE_SECONDS)
         self.stats = CacheStats()
 
     @property
@@ -58,15 +65,36 @@ class ResultCache:
         return len(self._memory)
 
     def __contains__(self, fingerprint: str) -> bool:
+        """True only for entries :meth:`get` would actually serve.
+
+        Membership *validates* disk entries (parse + schema round-trip): a
+        truncated or corrupt file must not answer ``in`` with True while
+        ``get`` returns a miss.  A validated entry is promoted to the memory
+        tier, so the subsequent ``get`` is a memory hit; the hit/miss stats
+        count only :meth:`get` lookups.
+        """
         if fingerprint in self._memory:
             return True
-        path = self._path(fingerprint)
-        return path is not None and path.exists()
+        return self._load_disk(fingerprint) is not None
 
     def _path(self, fingerprint: str) -> Path | None:
         if self._directory is None:
             return None
         return self._directory / f"{fingerprint}.json"
+
+    def _load_disk(self, fingerprint: str) -> RunResult | None:
+        """Parse the disk entry into the memory tier; ``None`` if invalid."""
+        path = self._path(fingerprint)
+        if path is None or not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            result = RunResult.from_dict(data["result"])
+        except (ValueError, KeyError, TypeError):
+            # A truncated or stale cache file is a miss, not an error.
+            return None
+        self._memory[fingerprint] = result
+        return result
 
     def get(self, fingerprint: str) -> RunResult | None:
         """Return a copy of the cached result for *fingerprint*, if any."""
@@ -74,15 +102,8 @@ class ResultCache:
         if result is not None:
             self.stats.memory_hits += 1
             return copy.deepcopy(result)
-        path = self._path(fingerprint)
-        if path is not None and path.exists():
-            try:
-                data = json.loads(path.read_text())
-                result = RunResult.from_dict(data["result"])
-            except (ValueError, KeyError, TypeError):
-                # A truncated or stale cache file is a miss, not an error.
-                return self._miss()
-            self._memory[fingerprint] = result
+        result = self._load_disk(fingerprint)
+        if result is not None:
             self.stats.disk_hits += 1
             return copy.deepcopy(result)
         return self._miss()
@@ -108,9 +129,42 @@ class ResultCache:
                 json.dump(payload, handle)
             os.replace(handle.name, path)
         except BaseException:
-            os.unlink(handle.name)
+            try:
+                os.unlink(handle.name)
+            except FileNotFoundError:
+                # A concurrent clear() in another cache instance may have
+                # reaped the temp file already; don't mask the original error.
+                pass
             raise
 
+    def _sweep_stale_temp_files(self, max_age_seconds: float | None = None) -> int:
+        """Remove orphaned ``.tmp-*`` files left by writers killed mid-`put`.
+
+        With *max_age_seconds* only files at least that old are reaped;
+        ``None`` reaps them all.  Returns the number of files removed.
+        """
+        if self._directory is None:
+            return 0
+        cutoff = None if max_age_seconds is None else time.time() - max_age_seconds
+        removed = 0
+        for path in self._directory.glob(".tmp-*"):
+            try:
+                if cutoff is not None and path.stat().st_mtime > cutoff:
+                    continue
+                path.unlink()
+            except OSError:
+                continue  # another process won the race; nothing to reap
+            removed += 1
+        return removed
+
     def clear(self) -> None:
-        """Drop the in-memory tier (disk files are left in place)."""
+        """Drop the in-memory tier and reap any orphaned temp files.
+
+        Committed disk entries (``<fingerprint>.json``) are left in place.
+        The temp reap here is unconditional (no age guard): call ``clear``
+        between runs, not while another process is writing into the same
+        directory — a concurrent ``put`` whose temp file is reaped fails
+        with the interrupted write's error rather than corrupting anything.
+        """
         self._memory.clear()
+        self._sweep_stale_temp_files()

@@ -30,6 +30,7 @@ from repro.core.configuration import (
     synchronous_spec,
 )
 from repro.core.controllers.params import AdaptiveControlParams
+from repro.core.synchronization import DEFAULT_WINDOW_FRACTION
 from repro.workloads.characteristics import WorkloadProfile
 from repro.workloads.trace_cache import cached_trace
 
@@ -42,7 +43,7 @@ DEFAULT_TRACE_SEED = 1234
 #: caches from older code are invalidated.  Machine-configuration changes
 #: (timing tables, spec fields) need no bump: the fingerprint hashes the
 #: fully resolved :class:`MachineSpec`, so those invalidate automatically.
-FINGERPRINT_VERSION = 2  # v2: PYTHONHASHSEED-independent trace/jitter RNG seeding
+FINGERPRINT_VERSION = 3  # v3: index-addressable clock jitter + jitter/sync-window knobs
 
 
 def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
@@ -143,6 +144,18 @@ class SimulationJob:
     the recipe is built (``dataclasses.replace`` semantics) — how the
     ablation drivers express hypothetical machines such as a shallower
     misprediction penalty or synchronisation-free domain crossings.
+
+    ``jitter_fraction`` and ``sync_window_fraction`` are the paper's
+    timing-uncertainty knobs: peak-to-peak clock jitter as a fraction of each
+    domain period, and the unsafe capture window at domain crossings as a
+    fraction of the faster clock's period (``None`` inherits the paper's
+    0.3).  ``control_overrides`` patches individual
+    :class:`AdaptiveControlParams` fields on top of the resolved controller
+    parameters (``dataclasses.replace`` semantics) — how sensitivity sweeps
+    vary the adaptation interval or hysteresis without re-deriving the
+    window-scaled defaults; it therefore requires a phase-adaptive job.  All
+    three knobs are part of the fingerprint, so jittered runs are cached and
+    parallelised exactly like jitter-free ones.
     """
 
     profile: WorkloadProfile
@@ -156,6 +169,9 @@ class SimulationJob:
     phase_adaptive: bool = False
     control: AdaptiveControlParams | None = None
     seed: int = 0
+    jitter_fraction: float = 0.0
+    sync_window_fraction: float | None = None
+    control_overrides: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.spec_kind, SpecKind):
@@ -172,6 +188,22 @@ class SimulationJob:
             if unknown:
                 raise ValueError(f"unknown MachineSpec fields: {sorted(unknown)}")
             object.__setattr__(self, "spec_overrides", dict(self.spec_overrides))
+        if not 0 <= self.jitter_fraction < 0.5:
+            raise ValueError("jitter_fraction must be in [0, 0.5)")
+        if self.sync_window_fraction is not None and not (
+            0 <= self.sync_window_fraction < 1
+        ):
+            raise ValueError("sync_window_fraction must be in [0, 1)")
+        if self.control_overrides is not None:
+            if not self.phase_adaptive:
+                raise ValueError("control_overrides require a phase-adaptive job")
+            valid = {spec.name for spec in fields(AdaptiveControlParams)}
+            unknown = set(self.control_overrides) - valid
+            if unknown:
+                raise ValueError(
+                    f"unknown AdaptiveControlParams fields: {sorted(unknown)}"
+                )
+            object.__setattr__(self, "control_overrides", dict(self.control_overrides))
 
     # ------------------------------------------------------------ resolution
 
@@ -187,9 +219,20 @@ class SimulationJob:
 
     def resolved_control(self) -> AdaptiveControlParams | None:
         """Controller parameters actually passed to the processor."""
-        if self.phase_adaptive and self.control is None:
-            return default_control_params(self.resolved_window())
-        return self.control
+        control = self.control
+        if self.phase_adaptive and control is None:
+            control = default_control_params(self.resolved_window())
+        if self.control_overrides:
+            # control cannot be None here: overrides imply phase_adaptive,
+            # which guarantees the window-scaled defaults above.
+            control = dataclasses.replace(control, **self.control_overrides)
+        return control
+
+    def resolved_sync_window_fraction(self) -> float:
+        """Synchronisation window after applying the paper default (0.3)."""
+        if self.sync_window_fraction is not None:
+            return self.sync_window_fraction
+        return DEFAULT_WINDOW_FRACTION
 
     def build_spec(self) -> MachineSpec:
         """Rebuild the machine spec from the job's recipe."""
@@ -229,6 +272,8 @@ class SimulationJob:
                 "phase_adaptive": self.phase_adaptive,
                 "control": canonical_payload(self.resolved_control()),
                 "seed": self.seed,
+                "jitter_fraction": self.jitter_fraction,
+                "sync_window_fraction": self.resolved_sync_window_fraction(),
             },
         }
 
@@ -242,4 +287,7 @@ class SimulationJob:
         machine = self.spec_kind.value
         if self.indices is not None:
             machine = f"{machine}:{self.indices.describe()}"
-        return f"{self.profile.name}/{machine}/w{self.resolved_window()}"
+        label = f"{self.profile.name}/{machine}/w{self.resolved_window()}"
+        if self.jitter_fraction:
+            label = f"{label}/j{self.jitter_fraction:g}"
+        return label

@@ -22,6 +22,8 @@ def run_job(job: SimulationJob) -> RunResult:
         control=job.resolved_control(),
         phase_adaptive=job.phase_adaptive,
         seed=job.seed,
+        jitter_fraction=job.jitter_fraction,
+        sync_window_fraction=job.resolved_sync_window_fraction(),
     )
     trace = make_trace(job.profile, seed=job.trace_seed)
     return processor.run(

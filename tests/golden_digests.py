@@ -61,6 +61,27 @@ def golden_jobs() -> dict[str, SimulationJob]:
             window=1_500,
             warmup=1_000,
         ),
+        # Jittered configurations, pinning the timing-uncertainty path (the
+        # index-addressable jitter stream, true-edge synchronisation and the
+        # jittered fast-forward) exactly like the jitter-free path.
+        "gcc/phase_adaptive_jittered": SimulationJob(
+            profile=gcc,
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=1_500,
+            warmup=1_000,
+            jitter_fraction=0.05,
+        ),
+        "em3d/program_adaptive_jittered_wide_window": SimulationJob(
+            profile=em3d,
+            spec_kind=SpecKind.ADAPTIVE,
+            use_b_partitions=False,
+            window=1_500,
+            warmup=1_000,
+            jitter_fraction=0.10,
+            sync_window_fraction=0.45,
+        ),
     }
 
 

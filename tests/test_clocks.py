@@ -102,3 +102,118 @@ class TestDomainClock:
         edge = clock.edge_at_or_after(time_ps)
         assert edge >= time_ps
         assert (edge - clock.next_edge) % clock.period_ps == 0
+
+    def test_edges_before_counts_strictly_earlier_edges(self):
+        clock = DomainClock("test", 1.0)  # edges at 0, 1000, 2000, ...
+        assert clock.edges_before(0) == 0
+        assert clock.edges_before(1) == 1
+        assert clock.edges_before(1000) == 1
+        assert clock.edges_before(1001) == 2
+        assert clock.edges_before(2500) == 3
+
+
+def jittered_clock(**kwargs) -> DomainClock:
+    kwargs.setdefault("jitter_fraction", 0.1)
+    kwargs.setdefault("seed", 42)
+    return DomainClock("jitter-test", 1.0, **kwargs)
+
+
+class TestJitteredClock:
+    """The jitter stream must be index-addressable: every prediction API
+    (edge_at_or_after, edges_before, skip_edges) must agree exactly with the
+    edge times a sequence of advance() calls actually produces."""
+
+    def test_stream_reproducible_across_instances(self):
+        first = [jittered_clock().advance() for _ in range(1)]
+        a, b = jittered_clock(), jittered_clock()
+        edges_a = [a.advance() for _ in range(300)]
+        edges_b = [b.advance() for _ in range(300)]
+        assert edges_a == edges_b
+        assert first[0] == edges_a[0]
+
+    def test_different_seed_or_name_changes_stream(self):
+        base = [jittered_clock().advance() for _ in range(50)]
+        reseeded = jittered_clock(seed=43)
+        renamed = DomainClock("other-name", 1.0, jitter_fraction=0.1, seed=42)
+        assert [reseeded.advance() for _ in range(50)] != base
+        assert [renamed.advance() for _ in range(50)] != base
+
+    def test_skip_edges_matches_individual_advances(self):
+        bulk, stepwise = jittered_clock(), jittered_clock()
+        bulk.skip_edges(7)
+        for _ in range(7):
+            stepwise.advance()
+        assert bulk.next_edge == stepwise.next_edge
+        assert bulk.cycle_count == stepwise.cycle_count
+        # And the streams stay locked after the bulk skip.
+        assert [bulk.advance() for _ in range(20)] == [
+            stepwise.advance() for _ in range(20)
+        ]
+
+    def test_skip_then_advance_equals_pure_advances(self):
+        mixed, pure = jittered_clock(), jittered_clock()
+        mixed.skip_edges(3)
+        mixed.advance()
+        mixed.skip_edges(5)
+        for _ in range(9):
+            pure.advance()
+        assert mixed.next_edge == pure.next_edge
+        assert mixed.cycle_count == pure.cycle_count
+
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_edge_at_or_after_returns_a_true_jittered_edge(self, time_ps):
+        clock = jittered_clock()
+        probe = clock.edge_at_or_after(time_ps)
+        assert probe >= time_ps
+        assert probe >= clock.next_edge
+        # Enumerate the real edge sequence with an identical clock.
+        walker = jittered_clock()
+        actual_edges = {walker.next_edge}
+        while walker.next_edge < probe:
+            actual_edges.add(walker.advance())
+        assert probe in actual_edges
+        # And the probe must be the *first* such edge.
+        assert not any(time_ps <= edge < probe for edge in actual_edges)
+
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_edges_before_agrees_with_skip_edges(self, time_ps):
+        clock = jittered_clock()
+        count = clock.edges_before(time_ps)
+        clock.skip_edges(count)
+        # All skipped edges were strictly before time_ps...
+        assert clock.next_edge >= time_ps or count == 0
+        # ...and none remaining is.
+        assert clock.edges_before(time_ps) == 0
+
+    @given(st.integers(min_value=0, max_value=200_000))
+    def test_skip_edges_before_is_the_one_pass_equivalent(self, time_ps):
+        combined = jittered_clock()
+        two_step = jittered_clock()
+        count = combined.skip_edges_before(time_ps)
+        two_step.skip_edges(two_step.edges_before(time_ps))
+        assert count == two_step.cycle_count
+        assert combined.cycle_count == two_step.cycle_count
+        assert combined.next_edge == two_step.next_edge
+
+    def test_skip_edges_before_on_a_jitter_free_clock(self):
+        clock = DomainClock("test", 1.0)  # edges at 0, 1000, 2000, ...
+        assert clock.skip_edges_before(2500) == 3
+        assert clock.next_edge == 3000
+        assert clock.cycle_count == 3
+        assert clock.skip_edges_before(3000) == 0
+
+    def test_edge_at_or_after_does_not_advance_jittered_clock(self):
+        clock = jittered_clock()
+        clock.edge_at_or_after(50_000)
+        assert clock.next_edge == 0
+        assert clock.cycle_count == 0
+
+    def test_jitter_respects_frequency_change(self):
+        clock = jittered_clock()
+        clock.advance()
+        clock.set_frequency(2.0)  # 500 ps nominal
+        previous = clock.next_edge
+        for _ in range(100):
+            step = clock.advance() - previous
+            previous = clock.next_edge
+            assert 450 <= step <= 550  # 500 ps +- 5% (jitter_fraction 0.1)

@@ -123,6 +123,46 @@ class TestCacheController:
         second = controller.evaluate_interval()
         assert second.best_index >= 2  # persistent need: change now allowed
 
+    def test_force_reset_interval_clears_consecutive_streak(self):
+        """A discarded interval must not count toward the decision streak:
+        force_reset_interval clears the pending candidate and count, so the
+        controller needs the full run of identical winners again."""
+        controller, l1, l2 = make_dcache_controller(consecutive=2)
+        sets = l1.num_sets
+
+        def capacity_bound_interval():
+            for _ in range(20):
+                for way in range(4):
+                    for set_index in range(64):
+                        l1.access(0x1000 + set_index * 64 + way * sets * 64)
+
+        capacity_bound_interval()
+        first = controller.evaluate_interval()
+        assert first.best_index == 0  # change deferred, streak at 1
+
+        controller.force_reset_interval()
+        assert controller._pending_candidate is None
+        assert controller._pending_count == 0
+        assert controller.instructions_in_interval == 0
+
+        # After the discard the next identical winner is a *first* vote
+        # again, so the change is still deferred...
+        capacity_bound_interval()
+        second = controller.evaluate_interval()
+        assert second.best_index == 0
+        # ...and only the following interval may commit it.
+        capacity_bound_interval()
+        third = controller.evaluate_interval()
+        assert third.best_index >= 2
+
+    def test_force_reset_interval_discards_interval_counters(self):
+        controller, l1, _ = make_dcache_controller()
+        l1.access(0x100)
+        controller.note_committed(10)
+        controller.force_reset_interval()
+        assert controller.instructions_in_interval == 0
+        assert l1.interval_stats.accesses == 0
+
     def test_costs_cover_every_configuration(self):
         controller, l1, _ = make_dcache_controller()
         l1.access(0x40)

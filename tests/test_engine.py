@@ -170,6 +170,69 @@ class TestFingerprint:
                 phase_adaptive=True,
             )
 
+    def test_timing_uncertainty_knobs_change_fingerprint(self, quick_profile):
+        base = SimulationJob(profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS)
+        jittered = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            jitter_fraction=0.05,
+        )
+        windowed = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            sync_window_fraction=0.45,
+        )
+        fingerprints = {base.fingerprint(), jittered.fingerprint(), windowed.fingerprint()}
+        assert len(fingerprints) == 3
+
+    def test_default_sync_window_shares_fingerprint_with_explicit(self, quick_profile):
+        implicit = SimulationJob(profile=quick_profile, spec_kind=SpecKind.BEST_SYNCHRONOUS)
+        explicit = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            sync_window_fraction=0.3,
+        )
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_control_overrides_resolve_and_fingerprint(self, quick_profile):
+        base = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+        )
+        overridden = SimulationJob(
+            profile=quick_profile,
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            control_overrides={"interval_instructions": 777, "cache_hysteresis": 0.02},
+        )
+        control = overridden.resolved_control()
+        assert control.interval_instructions == 777
+        assert control.cache_hysteresis == 0.02
+        # Untouched fields keep the window-scaled defaults.
+        assert control.pll_interval_scaled == base.resolved_control().pll_interval_scaled
+        assert base.fingerprint() != overridden.fingerprint()
+
+    def test_knob_validation(self, quick_profile):
+        with pytest.raises(ValueError):
+            SimulationJob(profile=quick_profile, jitter_fraction=0.5)
+        with pytest.raises(ValueError):
+            SimulationJob(profile=quick_profile, sync_window_fraction=1.0)
+        with pytest.raises(ValueError):  # overrides without phase-adaptive control
+            SimulationJob(
+                profile=quick_profile,
+                control_overrides={"interval_instructions": 500},
+            )
+        with pytest.raises(ValueError):  # unknown control field
+            SimulationJob(
+                profile=quick_profile,
+                spec_kind=SpecKind.BASE_ADAPTIVE,
+                phase_adaptive=True,
+                control_overrides={"not_a_knob": 1},
+            )
+
 
 class TestExecutors:
     def test_parallel_matches_serial(self, quick_profile):
@@ -235,6 +298,59 @@ class TestEngineAndCache:
         assert not calls  # served from disk, no simulation
         assert restored == original
         assert engine.cache.stats.disk_hits == 1
+
+    def test_truncated_disk_entry_is_not_a_member_and_misses(self, quick_profile, tmp_path):
+        """A corrupt disk file must answer ``in`` and ``get`` consistently."""
+        job = _jobs(quick_profile)[0]
+        fingerprint = job.fingerprint()
+        writer = ResultCache(tmp_path)
+        writer.put(fingerprint, run_job(job))
+
+        path = tmp_path / f"{fingerprint}.json"
+        full = path.read_text()
+        path.write_text(full[: len(full) // 2])  # truncated mid-write JSON
+
+        fresh = ResultCache(tmp_path)
+        assert fingerprint not in fresh
+        assert fresh.get(fingerprint) is None
+        assert fresh.stats.misses == 1
+
+    def test_valid_disk_entry_is_a_member(self, quick_profile, tmp_path):
+        job = _jobs(quick_profile)[0]
+        fingerprint = job.fingerprint()
+        ResultCache(tmp_path).put(fingerprint, run_job(job))
+        fresh = ResultCache(tmp_path)
+        assert fingerprint in fresh
+        assert fresh.get(fingerprint) is not None
+
+    def test_stale_temp_files_reaped_on_init(self, tmp_path):
+        """A process killed between tempfile write and os.replace leaves
+        .tmp-* litter; an old orphan is reaped when the cache comes up."""
+        import os
+
+        stale = tmp_path / ".tmp-orphan.json"
+        stale.write_text('{"partial": tru')
+        old = 1_000_000_000  # well past STALE_TEMP_AGE_SECONDS ago
+        os.utime(stale, (old, old))
+        fresh_temp = tmp_path / ".tmp-live.json"
+        fresh_temp.write_text('{"partial": tru')  # a live concurrent writer
+
+        ResultCache(tmp_path)
+        assert not stale.exists()
+        assert fresh_temp.exists()  # age guard spares in-flight writes
+
+    def test_clear_reaps_all_temp_files_and_keeps_entries(self, quick_profile, tmp_path):
+        job = _jobs(quick_profile)[0]
+        cache = ResultCache(tmp_path)
+        cache.put(job.fingerprint(), run_job(job))
+        litter = tmp_path / ".tmp-fresh.json"
+        litter.write_text("{")
+
+        cache.clear()
+        assert not litter.exists()
+        assert len(cache) == 0
+        # Committed disk entries survive and are still servable.
+        assert cache.get(job.fingerprint()) is not None
 
     def test_make_engine_knobs(self, tmp_path):
         serial = make_engine(workers=1, use_cache=False)
@@ -325,6 +441,36 @@ class TestSweepThroughEngine:
         assert single.synchronous == batched.synchronous
         assert single.program_adaptive == batched.program_adaptive
         assert single.phase_adaptive == batched.phase_adaptive
+
+    def test_jittered_sweep_serial_and_parallel_identical(self, quick_profile):
+        """Acceptance: a jittered sweep through the engine is bit-identical
+        whichever executor carries it (and reproducible per submission)."""
+        jobs = [
+            SimulationJob(
+                profile=quick_profile,
+                spec_kind=SpecKind.BEST_SYNCHRONOUS,
+                window=700,
+                warmup=1200,
+                jitter_fraction=0.05,
+            ),
+            SimulationJob(
+                profile=quick_profile,
+                spec_kind=SpecKind.BASE_ADAPTIVE,
+                use_b_partitions=True,
+                phase_adaptive=True,
+                window=700,
+                warmup=1200,
+                jitter_fraction=0.05,
+                sync_window_fraction=0.45,
+            ),
+        ]
+        serial = ExperimentEngine(SerialExecutor(), ResultCache()).run_all(jobs)
+        parallel = ExperimentEngine(ParallelExecutor(max_workers=2), ResultCache()).run_all(
+            jobs
+        )
+        assert serial == parallel
+        # A second serial submission through a fresh engine reproduces too.
+        assert ExperimentEngine(SerialExecutor(), ResultCache()).run_all(jobs) == serial
 
     def test_search_reuses_cache_across_drivers(self, quick_profile):
         engine, calls = _counting_engine()

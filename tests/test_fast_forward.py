@@ -8,8 +8,6 @@ reconfiguration in progress) or with jittered clocks.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.core.domains import Domain
 from repro.core.processor import MCDProcessor
 from repro.engine import SimulationJob, SpecKind, make_trace, run_job
@@ -22,6 +20,8 @@ def run_with_fast_forward(job: SimulationJob, enabled: bool) -> tuple[MCDProcess
         control=job.resolved_control(),
         phase_adaptive=job.phase_adaptive,
         seed=job.seed,
+        jitter_fraction=job.jitter_fraction,
+        sync_window_fraction=job.resolved_sync_window_fraction(),
         fast_forward=enabled,
     )
     trace = make_trace(job.profile, seed=job.trace_seed)
@@ -174,7 +174,9 @@ class TestFastForwardGating:
         assert not fired
         assert processor._pending_events
 
-    def test_disabled_under_clock_jitter(self):
+    def test_enabled_under_clock_jitter(self):
+        """The index-addressable jitter stream keeps bulk skips exact, so
+        jitter no longer disables the fast-forward."""
         job = SimulationJob(
             profile=get_workload("gcc"),
             spec_kind=SpecKind.BEST_SYNCHRONOUS,
@@ -182,7 +184,7 @@ class TestFastForwardGating:
             warmup=100,
         )
         processor = MCDProcessor(job.build_spec(), seed=1, jitter_fraction=0.1)
-        assert not processor._fast_forward_enabled
+        assert processor._fast_forward_enabled
 
     def test_explicitly_disabled_never_skips(self):
         job = SimulationJob(
@@ -208,9 +210,56 @@ class TestBulkEdgeSkip:
         assert bulk.next_edge == stepwise.next_edge
         assert bulk.cycle_count == stepwise.cycle_count
 
-    def test_skip_edges_rejects_jittered_clocks(self):
+    def test_skip_edges_matches_individual_advances_under_jitter(self):
         from repro.clocks.clock import DomainClock
 
-        clock = DomainClock("test", 1.0, jitter_fraction=0.2, seed=3)
-        with pytest.raises(ValueError, match="jittered"):
-            clock.skip_edges(2)
+        bulk = DomainClock("test", 1.0, jitter_fraction=0.2, seed=3)
+        stepwise = DomainClock("test", 1.0, jitter_fraction=0.2, seed=3)
+        bulk.skip_edges(7)
+        for _ in range(7):
+            stepwise.advance()
+        assert bulk.next_edge == stepwise.next_edge
+        assert bulk.cycle_count == stepwise.cycle_count
+
+
+class TestJitteredFastForward:
+    """Under jitter the fast-forward must stay a pure wall-clock optimisation,
+    exactly as on jitter-free clocks."""
+
+    def jittered_job(self, **kwargs) -> SimulationJob:
+        return SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=2_000,
+            warmup=1_500,
+            jitter_fraction=0.05,
+            **kwargs,
+        )
+
+    def test_jittered_run_identical_with_and_without_fast_forward(self):
+        job = self.jittered_job()
+        with_ff_processor, with_ff = run_with_fast_forward(job, True)
+        without_ff_processor, without_ff = run_with_fast_forward(job, False)
+        # The comparison only means something if fast-forward actually fired.
+        assert with_ff_processor.fast_forward_cycles > 0
+        assert without_ff_processor.fast_forward_cycles == 0
+        assert with_ff == without_ff
+
+    def test_jittered_phase_adaptive_identical_with_and_without_fast_forward(self):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=2_000,
+            warmup=1_500,
+            jitter_fraction=0.05,
+        )
+        _, with_ff = run_with_fast_forward(job, True)
+        _, without_ff = run_with_fast_forward(job, False)
+        assert with_ff == without_ff
+
+    def test_engine_path_runs_jittered_jobs_with_fast_forward(self):
+        job = self.jittered_job()
+        _, direct = run_with_fast_forward(job, True)
+        assert run_job(job) == direct

@@ -24,14 +24,21 @@ import pytest
 from golden_digests import golden_jobs, result_digest
 from repro.engine import run_job
 
-#: sha256 of the canonical JSON serialisation of each golden job's RunResult,
-#: recorded from the pre-optimisation simulator.
+#: sha256 of the canonical JSON serialisation of each golden job's RunResult.
+#: The jitter-free digests were recorded from the pre-optimisation simulator;
+#: the ``*_jittered*`` digests were recorded when the jitter-correct clock
+#: landed (the index-addressable offset stream replaced the stateful RNG,
+#: which is an intentional modelling change for jittered runs only — the
+#: jitter-free digests did not move) and pin the timing-uncertainty path the
+#: same way.
 GOLDEN_DIGESTS = {
     "gcc/synchronous": "efbdc3d7065a9e2790b3e670ad11f0ead0da4f5af9e9817dd1b51466dbd686c2",
     "gcc/program_adaptive": "ebfa232fb92aec7af5066a5ea153d5fb53e3ef0d4f46ad58c15a7857c8180654",
     "gcc/phase_adaptive": "bffe939bc27656d5392433658e514b567e40293c5a006757acfe3e6edf891474",
     "em3d/synchronous": "3bebf624cf357354f59a59c46bdcec9cce2eedfe9c67fdfc38152b8564030b49",
     "em3d/phase_adaptive": "dbf359ae27200da9f7041d4237f351a443fb009d97b54122238ef38b2323a6a1",
+    "gcc/phase_adaptive_jittered": "8c20b2cbb219fd7abdc9103c55c622ab71ee6269972bcb65c8e1f10fa30c862e",
+    "em3d/program_adaptive_jittered_wide_window": "32062bfa9bba2cc895b950377bc1f5a24a1f8c51e1d812685e4f26162fb23fdf",
 }
 
 

@@ -1,0 +1,121 @@
+"""Tests for the timing-uncertainty sensitivity driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    AXIS_CACHE_HYSTERESIS,
+    AXIS_INTERVAL,
+    AXIS_JITTER,
+    AXIS_SYNC_WINDOW,
+    SensitivityAxis,
+    sensitivity_sweep,
+)
+from repro.engine import ExperimentEngine, ResultCache, SerialExecutor
+from repro.workloads import WorkloadProfile
+
+
+@pytest.fixture(scope="module")
+def quick_profile() -> WorkloadProfile:
+    return WorkloadProfile(
+        name="sensitivity-quick", suite="test",
+        code_footprint_kb=4.0, inner_window_kb=2.0,
+        data_footprint_kb=48.0, hot_data_kb=12.0,
+        simulation_window=1_000,
+    )
+
+
+@pytest.fixture(scope="module")
+def report(quick_profile):
+    return sensitivity_sweep(
+        [quick_profile],
+        jitter_fractions=(0.05,),
+        sync_window_fractions=(0.45,),
+        interval_scales=(0.5,),
+        cache_hysteresis_values=(0.0,),
+        queue_hysteresis_values=(),
+        window=700,
+        warmup=1_200,
+        engine=ExperimentEngine(SerialExecutor(), ResultCache()),
+    )
+
+
+class TestSensitivitySweep:
+    def test_grid_structure(self, report, quick_profile):
+        assert report.workloads == [quick_profile.name]
+        assert [point.axis for point in report.points] == [
+            AXIS_JITTER,
+            AXIS_SYNC_WINDOW,
+            AXIS_INTERVAL,
+            AXIS_CACHE_HYSTERESIS,
+        ]
+        for point in report.points:
+            assert len(point.per_workload) == 1
+            assert point.per_workload[0].workload == quick_profile.name
+
+    def test_deltas_measured_against_jitter_free_baseline(self, report):
+        baseline_row = report.baseline[0]
+        for point in report.points:
+            cell = point.per_workload[0]
+            assert cell.program_delta == pytest.approx(
+                cell.program_improvement - baseline_row.program_improvement
+            )
+            assert cell.phase_delta == pytest.approx(
+                cell.phase_improvement - baseline_row.phase_improvement
+            )
+
+    def test_jitter_point_actually_changes_the_mcd_runs(self, report):
+        jitter_point = report.points_for(AXIS_JITTER)[0]
+        baseline_row = report.baseline[0]
+        # Jitter must reach the simulation: a perturbed MCD machine cannot be
+        # numerically identical to the jitter-free one on both metrics.
+        cell = jitter_point.per_workload[0]
+        assert (
+            cell.program_improvement != baseline_row.program_improvement
+            or cell.phase_improvement != baseline_row.phase_improvement
+        )
+
+    def test_controller_axis_program_jobs_served_from_cache(self, quick_profile):
+        """Controller knobs do not exist on the Program-Adaptive machine, so
+        those grid points must reuse the baseline's cached program run."""
+        engine = ExperimentEngine(SerialExecutor(), ResultCache())
+        sensitivity_sweep(
+            [quick_profile],
+            jitter_fractions=(),
+            sync_window_fractions=(),
+            interval_scales=(0.5,),
+            cache_hysteresis_values=(),
+            queue_hysteresis_values=(),
+            window=700,
+            warmup=1_200,
+            engine=engine,
+        )
+        assert engine.stats.cache_hits >= 1
+
+    def test_render_mentions_every_axis(self, report):
+        text = report.render()
+        assert "baseline" in text
+        for point in report.points:
+            assert point.axis in text
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError):
+            SensitivityAxis("not_an_axis", (1.0,))
+
+    def test_deterministic_across_engines(self, report, quick_profile):
+        again = sensitivity_sweep(
+            [quick_profile],
+            jitter_fractions=(0.05,),
+            sync_window_fractions=(0.45,),
+            interval_scales=(0.5,),
+            cache_hysteresis_values=(0.0,),
+            queue_hysteresis_values=(),
+            window=700,
+            warmup=1_200,
+            engine=ExperimentEngine(SerialExecutor(), ResultCache()),
+        )
+        for first, second in zip(report.points, again.points):
+            assert first.axis == second.axis
+            assert first.value == second.value
+            assert first.per_workload == second.per_workload

@@ -1,6 +1,7 @@
 """Tests for clock-domain synchronisation and the PLL model."""
 
 import pytest
+from hypothesis import given, strategies as st
 
 from repro.clocks import DomainClock
 from repro.core import PLLModel, SynchronizationModel
@@ -66,6 +67,99 @@ class TestSynchronizationModel:
         model.transfer(100, DomainClock("a", 1.0), DomainClock("b", 1.2))
         model.reset()
         assert model.stats.transfers == 0
+
+
+class TestTransferBoundaries:
+    """Edge cases of the arbitration-window model: exact edge coincidence,
+    integer truncation of the window, and mid-run frequency changes."""
+
+    def test_event_exactly_on_consumer_edge_pays_penalty(self):
+        # An event landing exactly on the capture edge is the worst case for
+        # the synchroniser: the margin is zero, inside any non-zero window.
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)  # 1000 ps
+        consumer = DomainClock("b", 0.5)  # 2000 ps
+        assert model.transfer(2000, producer, consumer) == 4000
+        assert model.stats.penalties == 1
+
+    def test_event_exactly_on_edge_with_zero_window_is_free(self):
+        model = SynchronizationModel(enabled=True, window_fraction=0.0)
+        producer = DomainClock("a", 1.0)
+        consumer = DomainClock("b", 0.5)
+        assert model.transfer(2000, producer, consumer) == 2000
+        assert model.stats.penalties == 0
+
+    def test_window_is_truncated_to_integer_picoseconds(self):
+        # 0.333 * 1000 ps = 333.0 exactly after int(): a margin of exactly
+        # 333 ps is *outside* the window (edge - event < window is strict),
+        # 332 ps is inside.
+        model = SynchronizationModel(enabled=True, window_fraction=0.333)
+        producer = DomainClock("a", 1.0)   # 1000 ps (the faster clock)
+        consumer = DomainClock("b", 0.5)   # 2000 ps
+        assert model.transfer(2000 - 333, producer, consumer) == 2000
+        assert model.stats.penalties == 0
+        assert model.transfer(2000 - 332, producer, consumer) == 4000
+        assert model.stats.penalties == 1
+
+    def test_transfer_spanning_a_frequency_change(self):
+        # The consumer re-locks to half frequency after consuming one edge:
+        # the new period applies from the next edge onward, and the transfer
+        # model sees exactly what the hardware would.
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("a", 1.0)   # 1000 ps
+        consumer = DomainClock("b", 1.0)   # 1000 ps, edges 0, 1000, ...
+        consumer.advance()                 # next edge at 1000
+        consumer.set_frequency(0.5)        # 2000 ps from the next edge on
+        # Event at 1500 ps: the next consumer edge is 1000 + 2000 = 3000 ps
+        # (not the pre-change 2000 ps), margin 1500 ps > window 300 ps.
+        assert model.transfer(1500, producer, consumer) == 3000
+        assert model.stats.penalties == 0
+        # Inside the window relative to the post-change edge: penalty is one
+        # *new-period* consumer cycle.
+        assert model.transfer(2900, producer, consumer) == 5000
+        assert model.stats.penalties == 1
+
+
+class TestJitteredTransfers:
+    """After the jitter rework every cross-domain transfer time must coincide
+    with an edge the consumer clock actually produces."""
+
+    @staticmethod
+    def _actual_edges(template_kwargs, up_to):
+        clock = DomainClock(**template_kwargs)
+        edges = {clock.next_edge}
+        while clock.next_edge <= up_to:
+            edges.add(clock.advance())
+        return edges
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_transfer_lands_on_a_real_consumer_edge(self, event_time):
+        consumer_kwargs = dict(
+            name="consumer", frequency_ghz=0.7, jitter_fraction=0.1, seed=9
+        )
+        model = SynchronizationModel(enabled=True)
+        producer = DomainClock("producer", 1.3, jitter_fraction=0.1, seed=9)
+        consumer = DomainClock(**consumer_kwargs)
+        arrival = model.transfer(event_time, producer, consumer)
+        assert arrival >= event_time
+        assert arrival in self._actual_edges(consumer_kwargs, arrival)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_penalised_transfer_lands_on_the_following_real_edge(self, event_time):
+        # Force every transfer into the unsafe window with a near-full-period
+        # window fraction, then check the penalty edge is the true successor.
+        consumer_kwargs = dict(
+            name="consumer", frequency_ghz=0.9, jitter_fraction=0.2, seed=5
+        )
+        model = SynchronizationModel(enabled=True, window_fraction=0.99)
+        producer = DomainClock("producer", 1.1)
+        consumer = DomainClock(**consumer_kwargs)
+        capture = consumer.edge_at_or_after(event_time)
+        arrival = model.transfer(event_time, producer, consumer)
+        edges = sorted(self._actual_edges(consumer_kwargs, arrival + 1))
+        assert arrival in edges
+        if arrival != capture:  # the penalty path fired
+            assert edges[edges.index(capture) + 1] == arrival
 
 
 class TestPLLModel:
