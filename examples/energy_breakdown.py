@@ -1,0 +1,75 @@
+"""Energy breakdown of the paper's three machines on one workload.
+
+Runs the fully synchronous baseline, the Program-Adaptive MCD machine (base
+configuration, A partitions only) and the Phase-Adaptive MCD machine, then
+prints each machine's per-structure energy breakdown and the comparative
+energy / ED / ED^2 table — the energy view of one Figure 6 row.
+
+Usage::
+
+    python examples/energy_breakdown.py [workload] [--window N] [--full]
+
+``--full`` prints the complete per-structure tables; without it only the
+summary comparison is shown.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis import compare_workload, energy_table, improvement_table
+from repro.energy import energy_report
+from repro.workloads import get_workload, workload_names
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("workload", nargs="?", default="gcc", help="workload name")
+    parser.add_argument("--window", type=int, default=6_000, help="measured window")
+    parser.add_argument("--warmup", type=int, default=None, help="warm-up instructions")
+    parser.add_argument(
+        "--full", action="store_true", help="print full per-structure breakdowns"
+    )
+    args = parser.parse_args()
+    if args.workload not in workload_names():
+        raise SystemExit(
+            f"unknown workload {args.workload!r}; try one of {workload_names()[:8]} ..."
+        )
+    profile = get_workload(args.workload)
+
+    print(f"workload: {profile.name} ({profile.suite}) — {profile.description}")
+    print(f"simulating {args.window} instructions per machine...\n")
+    row = compare_workload(profile, window=args.window, warmup=args.warmup)
+
+    machines = (
+        ("fully synchronous (baseline)", row.synchronous),
+        (f"program-adaptive ({row.program_best_indices.describe()})", row.program_adaptive),
+        ("phase-adaptive", row.phase_adaptive),
+    )
+    for label, result in machines:
+        report = energy_report(result)
+        print(f"== {label} ==")
+        if args.full:
+            print(report.render())
+        else:
+            domains = report.by_domain()
+            shares = ", ".join(
+                f"{domain} {bucket['total_nj'] / (report.total_nj or 1.0) * 100:.0f}%"
+                for domain, bucket in sorted(domains.items())
+            )
+            print(
+                f"total {report.total_nj:.0f} nJ "
+                f"({report.energy_per_instruction_nj:.2f} nJ/instruction); {shares}"
+            )
+        print()
+
+    print("run-time improvements (Figure 6 row):")
+    print(improvement_table([row]))
+    print()
+    print("energy / energy-delay columns:")
+    print(energy_table([row]))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,17 +7,19 @@ from repro.analysis.metrics import (
     relative_improvement,
     geometric_mean,
 )
-from repro.analysis.hardware_cost import (
-    HardwareComponent,
-    phase_adaptive_cache_hardware,
-    total_equivalent_gates,
-    ilp_tracker_storage_bits,
-)
-from repro.analysis.reporting import format_table, improvement_table
+from repro.analysis.reporting import energy_table, format_table, improvement_table
 
 # The sweep and sensitivity modules depend on repro.core (which itself uses
 # repro.analysis.metrics), so they are imported lazily to keep the package
-# import-order independent.
+# import-order independent.  hardware_cost is lazy for a different reason:
+# it doubles as ``python -m repro.analysis.hardware_cost``, and an eager
+# import here would leave runpy re-executing an already-imported module.
+_HARDWARE_COST_EXPORTS = {
+    "HardwareComponent",
+    "phase_adaptive_cache_hardware",
+    "total_equivalent_gates",
+    "ilp_tracker_storage_bits",
+}
 _SENSITIVITY_EXPORTS = {
     "SensitivityAxis",
     "SensitivityPoint",
@@ -53,6 +55,10 @@ def __getattr__(name):
         from repro.analysis import sensitivity
 
         return getattr(sensitivity, name)
+    if name in _HARDWARE_COST_EXPORTS:
+        from repro.analysis import hardware_cost
+
+        return getattr(hardware_cost, name)
     raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")
 
 __all__ = [
@@ -79,6 +85,7 @@ __all__ = [
     "run_synchronous",
     "compare_workload",
     "compare_workloads",
+    "energy_table",
     "format_table",
     "improvement_table",
 ]

@@ -114,3 +114,54 @@ def ilp_tracker_storage_bits(queue_size: int) -> int:
     except KeyError as exc:
         raise ValueError(f"unsupported queue size {queue_size}") from exc
     return width * TOTAL_LOGICAL_REGS
+
+
+# ---------------------------------------------------------------------------
+# CLI: ``python -m repro.analysis.hardware_cost`` renders Table 4.
+# ---------------------------------------------------------------------------
+
+
+def render_table4() -> str:
+    """The Table 4 gate-count table plus the ILP-tracker storage summary."""
+    from repro.analysis.reporting import format_table
+
+    components = phase_adaptive_cache_hardware()
+    rows: list[tuple[object, ...]] = [
+        (
+            component.name,
+            component.count,
+            component.width_bits,
+            component.formula,
+            component.equivalent_gates,
+        )
+        for component in components
+    ]
+    rows.append(("total (one controller)", "", "", "", total_equivalent_gates(components)))
+    rows.append(("total (both controllers)", "", "", "", 2 * total_equivalent_gates(components)))
+    table = format_table(("component", "count", "bits", "formula", "equiv. gates"), rows)
+    tracker_lines = [
+        f"ILP tracker storage ({size}-entry queue): "
+        f"{ilp_tracker_storage_bits(size)} bits"
+        for size in (16, 32, 48, 64)
+    ]
+    return "\n".join(
+        ["Table 4 — phase-adaptive cache controller hardware cost", "", table, ""]
+        + tracker_lines
+    )
+
+
+def main(argv: object = None) -> int:
+    """CLI entry point; prints Table 4 and returns the exit code."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.hardware_cost",
+        description="Render the adaptive-control hardware-cost table (Table 4).",
+    )
+    parser.parse_args(argv)
+    print(render_table4())
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the CLI smoke test
+    raise SystemExit(main())

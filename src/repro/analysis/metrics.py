@@ -71,6 +71,38 @@ class RunResult:
 
     configuration_changes: list[ConfigurationChange] = field(default_factory=list)
 
+    # Activity counters and structural sizes consumed by the energy model
+    # (:mod:`repro.energy`).  All default so run records serialised before
+    # these fields existed still deserialise; the accounting behind them is
+    # observation-only, so they never influence simulated timing.
+    phase_adaptive: bool = False
+    fetched: int = 0
+    rob_dispatches: int = 0
+    int_queue_dispatches: int = 0
+    fp_queue_dispatches: int = 0
+    int_queue_issues: int = 0
+    fp_queue_issues: int = 0
+    int_queue_occupancy_cycles: int = 0
+    fp_queue_occupancy_cycles: int = 0
+    int_queue_operand_reads: int = 0
+    fp_queue_operand_reads: int = 0
+    int_regfile_writes: int = 0
+    fp_regfile_writes: int = 0
+    int_alu_ops: int = 0
+    int_complex_ops: int = 0
+    fp_alu_ops: int = 0
+    fp_complex_ops: int = 0
+    lsq_allocations: int = 0
+    #: Physical geometry per cache ("l1i"/"l1d"/"l2" -> size_kb,
+    #: associativity, sub_banks, block_bytes), as priced by the energy model.
+    cache_geometries: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Probe-width histogram per cache: ways activated (as a string key, for
+    #: lossless JSON round-trips) -> probe count.
+    cache_access_profile: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: Leakage-relevant entry counts of the non-cache storage structures.
+    structure_entries: dict[str, int] = field(default_factory=dict)
+    predictor_size_kb: float = 0.0
+
     # ------------------------------------------------------------ derived
 
     @property
@@ -140,7 +172,10 @@ class RunResult:
             if spec.name == "configuration_changes":
                 value = [change.to_dict() for change in value]
             elif isinstance(value, dict):
-                value = dict(value)
+                value = {
+                    key: dict(item) if isinstance(item, dict) else item
+                    for key, item in value.items()
+                }
             data[spec.name] = value
         return data
 

@@ -48,3 +48,37 @@ def improvement_table(comparisons: Iterable) -> str:
             )
         )
     return format_table(("workload", "program-adaptive", "phase-adaptive"), rows)
+
+
+def energy_table(comparisons: Iterable) -> str:
+    """Render the per-workload energy / ED / ED^2 columns of a Figure 6 sweep.
+
+    One row per :class:`~repro.analysis.sweep.WorkloadComparison`: the
+    synchronous baseline's energy per instruction, each adaptive machine's
+    energy reduction against it, and the phase-adaptive machine's
+    energy-delay trade-off metrics.
+    """
+    rows = []
+    for comparison in comparisons:
+        baseline = comparison.energy_report_for("synchronous")
+        rows.append(
+            (
+                comparison.workload,
+                f"{baseline.energy_per_instruction_nj:.2f}",
+                f"{comparison.program_energy_reduction * 100:+.1f}%",
+                f"{comparison.phase_energy_reduction * 100:+.1f}%",
+                f"{comparison.phase_edp_improvement * 100:+.1f}%",
+                f"{comparison.phase_ed2p_improvement * 100:+.1f}%",
+            )
+        )
+    return format_table(
+        (
+            "workload",
+            "sync nJ/inst",
+            "dE program",
+            "dE phase",
+            "dED phase",
+            "dED^2 phase",
+        ),
+        rows,
+    )

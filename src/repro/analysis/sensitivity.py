@@ -50,6 +50,7 @@ from repro.analysis.sweep import (
     compare_workloads,
 )
 from repro.core.controllers.params import AdaptiveControlParams
+from repro.energy import energy_reduction
 from repro.engine import (
     DEFAULT_TRACE_SEED,
     ExperimentEngine,
@@ -134,13 +135,19 @@ class SensitivityAxis:
 
 @dataclass(slots=True)
 class WorkloadSensitivity:
-    """One (grid point, workload) cell: improvements and their deltas."""
+    """One (grid point, workload) cell: improvements and their deltas.
+
+    The energy columns measure each MCD machine's energy reduction against
+    the same jitter-free synchronous row the timing improvements use.
+    """
 
     workload: str
     program_improvement: float
     phase_improvement: float
     program_delta: float
     phase_delta: float
+    program_energy_reduction: float = 0.0
+    phase_energy_reduction: float = 0.0
 
 
 @dataclass(slots=True)
@@ -178,6 +185,16 @@ class SensitivityPoint:
         """Mean change versus the jitter-free Phase-Adaptive improvement."""
         return self._mean("phase_delta")
 
+    @property
+    def program_energy_reduction(self) -> float:
+        """Mean Program-Adaptive energy reduction vs. the synchronous row."""
+        return self._mean("program_energy_reduction")
+
+    @property
+    def phase_energy_reduction(self) -> float:
+        """Mean Phase-Adaptive energy reduction vs. the synchronous row."""
+        return self._mean("phase_energy_reduction")
+
 
 @dataclass(slots=True)
 class SensitivityReport:
@@ -205,6 +222,24 @@ class SensitivityReport:
         """The grid points of one axis, in sweep order."""
         return [point for point in self.points if point.axis == axis]
 
+    @property
+    def baseline_program_energy_reduction(self) -> float:
+        """Mean jitter-free Program-Adaptive energy reduction."""
+        if not self.baseline:
+            return 0.0
+        return sum(row.program_energy_reduction for row in self.baseline) / len(
+            self.baseline
+        )
+
+    @property
+    def baseline_phase_energy_reduction(self) -> float:
+        """Mean jitter-free Phase-Adaptive energy reduction."""
+        if not self.baseline:
+            return 0.0
+        return sum(row.phase_energy_reduction for row in self.baseline) / len(
+            self.baseline
+        )
+
     def render(self) -> str:
         """Plain-text summary table (means across the workload set)."""
         rows: list[tuple[object, ...]] = [
@@ -215,6 +250,8 @@ class SensitivityReport:
                 f"{self.baseline_phase_improvement * 100:+.1f}%",
                 "-",
                 "-",
+                f"{self.baseline_program_energy_reduction * 100:+.1f}%",
+                f"{self.baseline_phase_energy_reduction * 100:+.1f}%",
             )
         ]
         for point in self.points:
@@ -226,10 +263,22 @@ class SensitivityReport:
                     f"{point.phase_improvement * 100:+.1f}%",
                     f"{point.program_delta * 100:+.2f}pp",
                     f"{point.phase_delta * 100:+.2f}pp",
+                    f"{point.program_energy_reduction * 100:+.1f}%",
+                    f"{point.phase_energy_reduction * 100:+.1f}%",
                 )
             )
         return format_table(
-            ("axis", "value", "program", "phase", "d-program", "d-phase"), rows
+            (
+                "axis",
+                "value",
+                "program",
+                "phase",
+                "d-program",
+                "d-phase",
+                "E-program",
+                "E-phase",
+            ),
+            rows,
         )
 
 
@@ -381,6 +430,14 @@ def sensitivity_sweep(
                     phase_improvement=phase_improvement,
                     program_delta=program_improvement - row.program_improvement,
                     phase_delta=phase_improvement - row.phase_improvement,
+                    # The baseline row's report is memoised on the row, so
+                    # the grid only prices each fresh MCD result once.
+                    program_energy_reduction=energy_reduction(
+                        row.energy_report_for("synchronous"), program_result
+                    ),
+                    phase_energy_reduction=energy_reduction(
+                        row.energy_report_for("synchronous"), phase_result
+                    ),
                 )
             )
 

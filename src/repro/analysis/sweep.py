@@ -32,6 +32,13 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.analysis.metrics import RunResult, relative_improvement
+from repro.energy import (
+    EnergyReport,
+    ed2p_improvement,
+    edp_improvement,
+    energy_reduction,
+    energy_report,
+)
 from repro.core.configuration import (
     AdaptiveConfigIndices,
     adaptive_configuration_space,
@@ -90,6 +97,12 @@ class SweepResult:
         """Number of simulated configurations."""
         return len(self.evaluated)
 
+    def energy_by_configuration(self) -> dict[str, float]:
+        """Total energy (nJ) of every evaluated configuration."""
+        return {
+            key: energy_report(result).total_nj for key, result in self.evaluated.items()
+        }
+
 
 @dataclass(slots=True)
 class WorkloadComparison:
@@ -100,6 +113,23 @@ class WorkloadComparison:
     program_adaptive: RunResult
     phase_adaptive: RunResult
     program_best_indices: AdaptiveConfigIndices
+    _energy_reports: dict[str, EnergyReport] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def energy_report_for(self, machine: str) -> EnergyReport:
+        """Memoised :class:`EnergyReport` of one run.
+
+        *machine* is ``"synchronous"``, ``"program_adaptive"`` or
+        ``"phase_adaptive"``; the report is computed once per comparison, so
+        the six energy properties and :func:`~repro.analysis.energy_table`
+        never redo the per-structure arithmetic.
+        """
+        report = self._energy_reports.get(machine)
+        if report is None:
+            report = energy_report(getattr(self, machine))
+            self._energy_reports[machine] = report
+        return report
 
     @property
     def program_improvement(self) -> float:
@@ -110,6 +140,59 @@ class WorkloadComparison:
     def phase_improvement(self) -> float:
         """Phase-Adaptive improvement over the synchronous baseline."""
         return relative_improvement(self.synchronous, self.phase_adaptive)
+
+    # Energy columns (computed from the recorded activity counters; see
+    # :mod:`repro.energy`).  Positive reductions mean less energy than the
+    # synchronous baseline; positive ED/ED^2 improvements mean a better
+    # energy-delay trade-off.
+
+    @property
+    def program_energy_reduction(self) -> float:
+        """Program-Adaptive energy reduction vs. the synchronous baseline."""
+        return energy_reduction(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("program_adaptive"),
+        )
+
+    @property
+    def phase_energy_reduction(self) -> float:
+        """Phase-Adaptive energy reduction vs. the synchronous baseline."""
+        return energy_reduction(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("phase_adaptive"),
+        )
+
+    @property
+    def program_edp_improvement(self) -> float:
+        """Program-Adaptive energy-delay-product improvement."""
+        return edp_improvement(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("program_adaptive"),
+        )
+
+    @property
+    def phase_edp_improvement(self) -> float:
+        """Phase-Adaptive energy-delay-product improvement."""
+        return edp_improvement(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("phase_adaptive"),
+        )
+
+    @property
+    def program_ed2p_improvement(self) -> float:
+        """Program-Adaptive energy-delay-squared improvement."""
+        return ed2p_improvement(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("program_adaptive"),
+        )
+
+    @property
+    def phase_ed2p_improvement(self) -> float:
+        """Phase-Adaptive energy-delay-squared improvement."""
+        return ed2p_improvement(
+            self.energy_report_for("synchronous"),
+            self.energy_report_for("phase_adaptive"),
+        )
 
 
 # ---------------------------------------------------------------------------

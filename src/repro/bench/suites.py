@@ -185,6 +185,60 @@ def run_sweep_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
     return _entry("sweep", parameters, runs, calibration)
 
 
+#: Workload subset for the energy suite: an instruction-bound code and a
+#: memory-bound one (quick); the quick sweep set (full).
+QUICK_ENERGY_WORKLOADS = ("gcc", "em3d")
+FULL_ENERGY_WORKLOADS = QUICK_SWEEP_WORKLOADS
+
+
+def run_energy_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time the energy view of the Figure 6 comparison.
+
+    Runs the three-machine comparison per workload and computes every
+    machine's :class:`~repro.energy.EnergyReport` plus the comparative
+    energy / ED / ED^2 columns, so the suite guards both the simulation path
+    with activity counting enabled and the energy model's arithmetic.
+    """
+    from repro.analysis.reporting import energy_table
+
+    window, warmup = (1_500, 2_500) if quick else (6_000, 20_000)
+    names = QUICK_ENERGY_WORKLOADS if quick else FULL_ENERGY_WORKLOADS
+    profiles = tuple(get_workload(name) for name in names)
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "workloads": list(names),
+        "search_mode": "factored",
+    }
+
+    engine = _fresh_engine(workers)
+    calibration = calibrate()
+
+    def energy_sweep() -> str:
+        rows = compare_workloads(
+            profiles,
+            search_mode="factored",
+            window=window,
+            warmup=warmup,
+            engine=engine,
+        )
+        # energy_table prices all three machines per row (memoised on the
+        # comparison), so the timed work covers simulation + energy model.
+        return energy_table(rows)
+
+    _, seconds = timed(energy_sweep)
+    runs = [
+        BenchRun(
+            name="energy_figure6_columns",
+            seconds=seconds,
+            simulations=engine.stats.simulations,
+            cache_hits=engine.stats.cache_hits,
+        )
+    ]
+    return _entry("energy", parameters, runs, calibration)
+
+
 #: Workload subset for the sensitivity suite: an instruction-bound code and a
 #: memory-bound one (quick), plus the two strongly phased applications (full).
 QUICK_SENSITIVITY_WORKLOADS = ("gcc", "em3d")
@@ -235,6 +289,7 @@ def run_sensitivity_suite(*, quick: bool = False, workers: int = 1) -> BenchEntr
 
 #: Registry of available suites.
 SUITES: dict[str, Callable[..., BenchEntry]] = {
+    "energy": run_energy_suite,
     "fig2": run_fig2_suite,
     "fig6": run_fig6_suite,
     "sweep": run_sweep_suite,

@@ -111,6 +111,11 @@ class AccountingCache(SetAssociativeCache):
         self.lifetime_a_hits = 0
         self.lifetime_b_hits = 0
         self.lifetime_misses = 0
+        #: Probe-width histogram for energy accounting (observation-only):
+        #: ways activated by a probe -> number of such probes.  An A access
+        #: activates the current ``a_ways``; the fallback B probe activates
+        #: the remaining ways of the physical array.
+        self.access_profile: dict[int, int] = {}
 
     # ------------------------------------------------------------------ API
 
@@ -147,13 +152,22 @@ class AccountingCache(SetAssociativeCache):
         """Access *address* and classify the outcome under the current config."""
         position = self.lookup(address)
         self.interval_stats.record(position)
-        if 0 <= position < self._a_ways:
+        a_ways = self._a_ways
+        profile = self.access_profile
+        profile[a_ways] = profile.get(a_ways, 0) + 1
+        if 0 <= position < a_ways:
             self.lifetime_a_hits += 1
             return AccessOutcome.HIT_A
-        if position >= self._a_ways and self._b_enabled:
-            self.lifetime_b_hits += 1
-            self.stats.b_hits += 1
-            return AccessOutcome.HIT_B
+        if self._b_enabled:
+            # The A miss fell through to a B-partition probe (hit or not),
+            # activating the remaining ways of the physical array.
+            b_ways = self.geometry.associativity - a_ways
+            if b_ways:
+                profile[b_ways] = profile.get(b_ways, 0) + 1
+            if position >= a_ways:
+                self.lifetime_b_hits += 1
+                self.stats.b_hits += 1
+                return AccessOutcome.HIT_B
         self.lifetime_misses += 1
         return AccessOutcome.MISS
 
@@ -168,3 +182,7 @@ class AccountingCache(SetAssociativeCache):
     def reset_interval(self) -> None:
         """Reset the per-interval counters (called by the controller)."""
         self.interval_stats.reset()
+
+    def reset_access_profile(self) -> None:
+        """Zero the energy-accounting probe histogram (post-warm-up)."""
+        self.access_profile.clear()

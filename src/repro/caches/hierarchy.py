@@ -122,6 +122,7 @@ class CacheHierarchy:
             cache.lifetime_a_hits = 0
             cache.lifetime_b_hits = 0
             cache.lifetime_misses = 0
+            cache.reset_access_profile()
 
     # -------------------------------------------------------------- accesses
 

@@ -41,10 +41,13 @@ from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.resources import FunctionalUnitPool, PhysicalRegisterFile
 from repro.pipeline.rob import ReorderBuffer
 from repro.analysis.metrics import ConfigurationChange, RunResult
+from repro.timing.cacti import CacheGeometry
 from repro.timing.tables import (
     ADAPTIVE_DCACHE_CONFIGS,
     ADAPTIVE_ICACHE_CONFIGS,
     ISSUE_QUEUE_FREQUENCY_GHZ,
+    ISSUE_QUEUE_SIZES,
+    BranchPredictorGeometry,
 )
 
 _INT_COMPLEX_OPS = frozenset({OpClass.INT_MULT, OpClass.INT_DIV})
@@ -898,10 +901,51 @@ class MCDProcessor:
 
     # ------------------------------------------------------------- results
 
+    @staticmethod
+    def _geometry_dict(geometry: CacheGeometry) -> dict[str, int]:
+        return {
+            "size_kb": geometry.size_kb,
+            "associativity": geometry.associativity,
+            "sub_banks": geometry.sub_banks,
+            "block_bytes": geometry.block_bytes,
+        }
+
+    @staticmethod
+    def _profile_dict(profile: dict[str, int] | dict[int, int]) -> dict[str, int]:
+        # String keys so the histogram survives JSON round-trips losslessly.
+        return {str(ways): count for ways, count in sorted(profile.items())}
+
+    @staticmethod
+    def _predictor_size_kb(predictor: BranchPredictorGeometry) -> float:
+        """Storage footprint of the hybrid predictor (KB of counter/history bits)."""
+        bits = (
+            2 * (predictor.gshare_entries + predictor.meta_entries)
+            + 2 * predictor.local_pht_entries
+            + predictor.local_history_bits * predictor.local_bht_entries
+        )
+        return bits / 8 / 1024
+
     def _build_result(self, workload_name: str) -> RunResult:
         frontend = self.frontend
         assert frontend is not None
         hierarchy_stats = self.hierarchy.stats
+        spec = self.spec
+        if spec.is_adaptive:
+            # The resizable machines carry (and leak) the full physical
+            # arrays; the energy model prices partial-activation probes of
+            # them via the recorded probe-width histograms.
+            l1i_geometry = frontend.icache.geometry
+            l1d_geometry = self.hierarchy.l1d.geometry
+            l2_geometry = self.hierarchy.l2.geometry
+            queue_entries = max(ISSUE_QUEUE_SIZES)
+            int_queue_entries = fp_queue_entries = queue_entries
+        else:
+            l1i_geometry = spec.icache.icache
+            l1d_geometry = spec.dcache.l1
+            l2_geometry = spec.dcache.l2
+            int_queue_entries = spec.int_queue_size
+            fp_queue_entries = spec.fp_queue_size
+        params = self.params
         result = RunResult(
             workload=workload_name,
             machine=self.spec.describe(),
@@ -936,5 +980,42 @@ class MCDProcessor:
             int_queue_average_occupancy=self.int_queue.average_occupancy,
             fp_queue_average_occupancy=self.fp_queue.average_occupancy,
             configuration_changes=list(self._configuration_changes),
+            phase_adaptive=self.phase_adaptive,
+            fetched=frontend.stats.fetched,
+            rob_dispatches=self.rob.total_dispatched,
+            int_queue_dispatches=self.int_queue.total_dispatched,
+            fp_queue_dispatches=self.fp_queue.total_dispatched,
+            int_queue_issues=self.int_queue.total_issued,
+            fp_queue_issues=self.fp_queue.total_issued,
+            int_queue_occupancy_cycles=self.int_queue.occupancy_accumulator,
+            fp_queue_occupancy_cycles=self.fp_queue.occupancy_accumulator,
+            int_queue_operand_reads=self.int_queue.operand_reads,
+            fp_queue_operand_reads=self.fp_queue.operand_reads,
+            int_regfile_writes=self.int_regs.allocations,
+            fp_regfile_writes=self.fp_regs.allocations,
+            int_alu_ops=self.int_units.alu_ops,
+            int_complex_ops=self.int_units.complex_ops_executed,
+            fp_alu_ops=self.fp_units.alu_ops,
+            fp_complex_ops=self.fp_units.complex_ops_executed,
+            lsq_allocations=self.lsq.stats.allocations,
+            cache_geometries={
+                "l1i": self._geometry_dict(l1i_geometry),
+                "l1d": self._geometry_dict(l1d_geometry),
+                "l2": self._geometry_dict(l2_geometry),
+            },
+            cache_access_profile={
+                "l1i": self._profile_dict(frontend.icache.access_profile),
+                "l1d": self._profile_dict(self.hierarchy.l1d.access_profile),
+                "l2": self._profile_dict(self.hierarchy.l2.access_profile),
+            },
+            structure_entries={
+                "rob": params.reorder_buffer_entries,
+                "lsq": params.load_store_queue_entries,
+                "int_regfile": params.physical_int_registers,
+                "fp_regfile": params.physical_fp_registers,
+                "int_queue": int_queue_entries,
+                "fp_queue": fp_queue_entries,
+            },
+            predictor_size_kb=self._predictor_size_kb(spec.icache.predictor),
         )
         return result

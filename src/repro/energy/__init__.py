@@ -1,0 +1,61 @@
+"""Activity-based energy accounting (the paper's actual objective).
+
+The subsystem has three layers:
+
+* :mod:`repro.energy.cacti` — per-access energy of a cache geometry, the
+  energy twin of :mod:`repro.timing.cacti`, with partial activation so each
+  adaptive configuration gets distinct A-part and A+B access energies;
+* :mod:`repro.energy.params` — per-event energies for the pipeline
+  structures, the frequency-voltage table and leakage constants;
+* :mod:`repro.energy.model` — :func:`energy_report`, which turns one
+  finished :class:`~repro.analysis.metrics.RunResult`'s activity counters
+  into an :class:`EnergyReport` (per-structure / per-domain dynamic +
+  leakage breakdowns, energy, ED and ED^2 metrics).
+
+Accounting is observation-only by construction: the simulator only ever
+*counts* activity; joules are computed afterwards from the counts.
+"""
+
+from repro.energy.cacti import (
+    LEAKAGE_MW_PER_KB,
+    cache_access_energy_nj,
+    cache_leakage_mw,
+    ways_activated,
+)
+from repro.energy.model import (
+    EnergyReport,
+    StructureEnergy,
+    ed2p_improvement,
+    edp_improvement,
+    energy_reduction,
+    energy_report,
+    energy_reports,
+)
+from repro.energy.params import (
+    DEFAULT_ENERGY_PARAMS,
+    FREQUENCY_VOLTAGE_TABLE_GHZ_V,
+    NOMINAL_VOLTAGE_V,
+    EnergyParams,
+    voltage_for_frequency,
+    voltage_scale,
+)
+
+__all__ = [
+    "DEFAULT_ENERGY_PARAMS",
+    "EnergyParams",
+    "EnergyReport",
+    "FREQUENCY_VOLTAGE_TABLE_GHZ_V",
+    "LEAKAGE_MW_PER_KB",
+    "NOMINAL_VOLTAGE_V",
+    "StructureEnergy",
+    "cache_access_energy_nj",
+    "cache_leakage_mw",
+    "ed2p_improvement",
+    "edp_improvement",
+    "energy_reduction",
+    "energy_report",
+    "energy_reports",
+    "voltage_for_frequency",
+    "voltage_scale",
+    "ways_activated",
+]

@@ -1,0 +1,116 @@
+"""CACTI-companion per-access energy model for cache geometries.
+
+The timing side of the reproduction (:mod:`repro.timing.cacti`) derives
+access *times* from a geometry's decode/array/way-select/routing/sense
+terms.  This module is its energy twin: the same structural terms, but
+integrating switched capacitance instead of critical-path delay, in the
+style of the Wattch/CACTI activity-based power models the paper's energy
+claims rest on.
+
+The central difference from the timing model is partial activation: an
+Accounting Cache access touches only the ways of the partition being
+probed.  An A-partition access of a cache configured with ``a_ways`` ways
+activates ``a_ways`` ways' worth of sub-banked data array, comparators and
+sense amplifiers; the fallback B probe activates the remaining
+``associativity - a_ways`` ways.  :func:`cache_access_energy_nj` therefore
+takes the number of ways activated, so each adaptive configuration gets a
+distinct A-part and A+B access energy from one physical geometry.
+
+Constants are calibration constants (nanojoules unless noted), chosen for
+the qualitative relationships an activity-based model must reproduce:
+energy grows with activated capacity and associativity, sub-banking cuts
+per-access array energy (only one sub-bank per activated way switches its
+bitlines), and routing energy grows with the bank count that must be
+spanned.  Absolute joules are model outputs, not silicon measurements.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.timing.cacti import CacheGeometry
+
+# Calibration constants (nanojoules unless noted).
+_DECODE_BASE_NJ = 0.006
+_DECODE_PER_BIT_NJ = 0.0022
+_ARRAY_PER_WAY_NJ = 0.014
+_ARRAY_PER_ACTIVE_KB_NJ = 0.009
+_TAG_COMPARE_PER_WAY_NJ = 0.011
+_WAY_MUX_PER_LEVEL_NJ = 0.004
+_ROUTING_PER_SQRT_BANK_NJ = 0.0035
+_SENSE_OUTPUT_NJ = 0.020
+
+#: Leakage power per kilobyte of SRAM (milliwatts); the physical array leaks
+#: whether or not its ways are in the active A partition.
+LEAKAGE_MW_PER_KB = 0.0045
+
+
+def ways_activated(geometry: CacheGeometry, a_ways: int, *, b_probe: bool) -> int:
+    """Number of ways switched by one probe of an Accounting Cache.
+
+    An A access activates the ``a_ways`` MRU ways; the fallback B probe
+    activates the remaining ways of the physical array.
+    """
+    if not 1 <= a_ways <= geometry.associativity:
+        raise ValueError(
+            f"a_ways must be in [1, {geometry.associativity}], got {a_ways}"
+        )
+    if b_probe:
+        return geometry.associativity - a_ways
+    return a_ways
+
+
+def _decode_energy_nj(geometry: CacheGeometry) -> float:
+    rows_per_bank = max(2.0, geometry.num_sets / geometry.sub_banks)
+    return _DECODE_BASE_NJ + _DECODE_PER_BIT_NJ * math.log2(rows_per_bank)
+
+
+def _array_energy_nj(geometry: CacheGeometry, ways: int) -> float:
+    # Only one sub-bank per activated way switches its wordline/bitlines;
+    # the rest of the way's capacity stays quiescent.
+    kb_per_way = geometry.size_kb / geometry.associativity
+    banks_per_way = max(1, geometry.sub_banks // geometry.associativity)
+    active_kb = ways * kb_per_way / banks_per_way
+    return _ARRAY_PER_WAY_NJ * ways + _ARRAY_PER_ACTIVE_KB_NJ * active_kb
+
+
+def _way_select_energy_nj(ways: int) -> float:
+    compare = _TAG_COMPARE_PER_WAY_NJ * ways
+    if ways <= 1:
+        return compare
+    levels = math.ceil(math.log2(ways))
+    return compare + _WAY_MUX_PER_LEVEL_NJ * levels
+
+
+def _routing_energy_nj(geometry: CacheGeometry, ways: int) -> float:
+    banks_per_way = max(1, geometry.sub_banks // geometry.associativity)
+    reached = max(1, ways * banks_per_way)
+    return _ROUTING_PER_SQRT_BANK_NJ * math.sqrt(reached)
+
+
+def cache_access_energy_nj(geometry: CacheGeometry, ways: int) -> float:
+    """Dynamic energy of one probe activating *ways* ways of *geometry*.
+
+    ``ways`` is the partition width being probed (A width for an A access,
+    B width for the fallback probe); a probe of zero ways costs nothing.
+    """
+    if ways < 0 or ways > geometry.associativity:
+        raise ValueError(
+            f"ways must be in [0, {geometry.associativity}], got {ways}"
+        )
+    if ways == 0:
+        return 0.0
+    return (
+        _decode_energy_nj(geometry)
+        + _array_energy_nj(geometry, ways)
+        + _way_select_energy_nj(ways)
+        + _routing_energy_nj(geometry, ways)
+        + _SENSE_OUTPUT_NJ
+    )
+
+
+def cache_leakage_mw(size_kb: float) -> float:
+    """Leakage power (mW) of *size_kb* kilobytes of resident SRAM."""
+    if size_kb < 0:
+        raise ValueError(f"size_kb must be non-negative, got {size_kb}")
+    return LEAKAGE_MW_PER_KB * size_kb

@@ -201,6 +201,7 @@ class FrontEnd:
         self.icache.stats.hits = 0
         self.icache.stats.misses = 0
         self.icache.stats.b_hits = 0
+        self.icache.reset_access_profile()
         self.stats = FrontEndStats()
         self.predictor.stats.predictions = 0
         self.predictor.stats.mispredictions = 0

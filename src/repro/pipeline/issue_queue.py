@@ -29,6 +29,10 @@ class IssueQueue:
         self.total_issued = 0
         self.occupancy_samples = 0
         self.occupancy_accumulator = 0
+        # Energy-accounting activity (observation-only): queue writes and the
+        # register-file source reads those entries will perform at issue.
+        self.total_dispatched = 0
+        self.operand_reads = 0
 
     # ------------------------------------------------------------------ API
 
@@ -59,6 +63,8 @@ class IssueQueue:
             raise RuntimeError(f"{self.name}: dispatch into a full queue")
         inst.queue_arrival_time = arrival_time
         self._incoming.append(inst)
+        self.total_dispatched += 1
+        self.operand_reads += len(inst.instruction.sources)
 
     def admit_arrivals(self, now: Picoseconds) -> None:
         """Move instructions whose synchronised arrival time has passed."""
@@ -122,3 +128,5 @@ class IssueQueue:
         self.total_issued = 0
         self.occupancy_samples = 0
         self.occupancy_accumulator = 0
+        self.total_dispatched = 0
+        self.operand_reads = 0

@@ -26,6 +26,7 @@ class LSQStats:
     loads_forwarded: int = 0
     loads_performed: int = 0
     stores_performed: int = 0
+    allocations: int = 0
 
 
 class LoadStoreQueue:
@@ -61,6 +62,7 @@ class LoadStoreQueue:
         if not self.has_space:
             raise RuntimeError("allocation into a full load/store queue")
         self._entries.append(inst)
+        self.stats.allocations += 1
 
     def release(self, inst: DynInst) -> None:
         """Free the slot at commit time."""

@@ -38,6 +38,9 @@ class FunctionalUnitPool:
         self._alu_slots_used = 0
         self._current_cycle_time: Picoseconds = -1
         self._complex_busy_until: list[Picoseconds] = [0] * complex_units
+        # Energy-accounting activity (observation-only).
+        self.alu_ops = 0
+        self.complex_ops_executed = 0
 
     def begin_cycle(self, now: Picoseconds) -> None:
         """Reset per-cycle issue-slot accounting."""
@@ -50,17 +53,21 @@ class FunctionalUnitPool:
             for index, busy_until in enumerate(self._complex_busy_until):
                 if busy_until <= now:
                     self._complex_busy_until[index] = now + latency_ps
+                    self.complex_ops_executed += 1
                     return True
             return False
         if self._alu_slots_used >= self._alus:
             return False
         self._alu_slots_used += 1
+        self.alu_ops += 1
         return True
 
     def reset(self) -> None:
         """Release every unit (used between runs)."""
         self._alu_slots_used = 0
         self._complex_busy_until = [0] * self._complex_units
+        self.alu_ops = 0
+        self.complex_ops_executed = 0
 
 
 class PhysicalRegisterFile:
@@ -78,6 +85,8 @@ class PhysicalRegisterFile:
         self._total = total
         self._logical = logical
         self._allocated = logical
+        # Energy-accounting activity (observation-only): rename writes.
+        self.allocations = 0
 
     @property
     def total(self) -> int:
@@ -98,6 +107,7 @@ class PhysicalRegisterFile:
         if not self.can_allocate(count):
             raise RuntimeError("physical register file overflow")
         self._allocated += count
+        self.allocations += count
 
     def release(self, count: int = 1) -> None:
         """Release *count* registers (commit)."""
@@ -108,3 +118,4 @@ class PhysicalRegisterFile:
     def reset(self) -> None:
         """Return to the initial state with only logical registers mapped."""
         self._allocated = self._logical
+        self.allocations = 0

@@ -16,6 +16,7 @@ class ReorderBuffer:
         self._capacity = capacity
         self._entries: deque[DynInst] = deque()
         self.total_committed = 0
+        self.total_dispatched = 0
 
     @property
     def capacity(self) -> int:
@@ -46,6 +47,7 @@ class ReorderBuffer:
         if not self.has_space:
             raise RuntimeError("dispatch into a full reorder buffer")
         self._entries.append(inst)
+        self.total_dispatched += 1
 
     def commit_head(self) -> DynInst:
         """Retire and return the oldest instruction."""

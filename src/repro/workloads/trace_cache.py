@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
 from collections import OrderedDict
 from typing import Iterator
 
@@ -31,10 +32,38 @@ from repro.workloads.generator import SyntheticTraceGenerator
 DEFAULT_CACHE_TRACES = 4
 
 
+#: Whether the unparsable-REPRO_TRACE_CACHE warning has been emitted (once
+#: per process; reset by tests via :func:`_reset_limit_warning`).
+_warned_invalid_limit = False
+
+
+def _reset_limit_warning() -> None:
+    global _warned_invalid_limit
+    _warned_invalid_limit = False
+
+
 def _cache_limit() -> int:
+    """The configured trace-cache size: ``REPRO_TRACE_CACHE`` or the default.
+
+    Negative values clamp to 0 (memoisation disabled); an unparsable value
+    falls back to the default and warns once per process instead of being
+    silently swallowed.
+    """
+    global _warned_invalid_limit
+    raw = os.environ.get("REPRO_TRACE_CACHE")
+    if raw is None:
+        return DEFAULT_CACHE_TRACES
     try:
-        return int(os.environ.get("REPRO_TRACE_CACHE", str(DEFAULT_CACHE_TRACES)))
+        return max(0, int(raw))
     except ValueError:
+        if not _warned_invalid_limit:
+            _warned_invalid_limit = True
+            warnings.warn(
+                f"ignoring unparsable REPRO_TRACE_CACHE value {raw!r}; "
+                f"using the default of {DEFAULT_CACHE_TRACES}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return DEFAULT_CACHE_TRACES
 
 

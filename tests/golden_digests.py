@@ -17,8 +17,45 @@ from __future__ import annotations
 import hashlib
 import json
 
+from repro.energy import energy_report
 from repro.engine import SimulationJob, SpecKind, run_job
 from repro.workloads import get_workload
+
+#: The RunResult fields that existed before the energy-accounting subsystem.
+#: Timing digests hash exactly this serialisation, so adding new
+#: (observation-only) activity fields can never move a pinned timing digest —
+#: only a change to simulated *behaviour* can.
+TIMING_DIGEST_FIELDS = (
+    "workload",
+    "machine",
+    "style",
+    "committed_instructions",
+    "execution_time_ps",
+    "domain_cycles",
+    "final_frequencies_ghz",
+    "branch_predictions",
+    "branch_mispredictions",
+    "icache_accesses",
+    "icache_b_hits",
+    "icache_misses",
+    "loads",
+    "stores",
+    "l1d_hits_a",
+    "l1d_hits_b",
+    "l1d_misses",
+    "l2_hits_a",
+    "l2_hits_b",
+    "l2_misses",
+    "memory_accesses",
+    "loads_forwarded",
+    "sync_transfers",
+    "sync_penalties",
+    "fetch_stall_cycles",
+    "branch_stall_cycles",
+    "int_queue_average_occupancy",
+    "fp_queue_average_occupancy",
+    "configuration_changes",
+)
 
 
 def golden_jobs() -> dict[str, SimulationJob]:
@@ -86,16 +123,68 @@ def golden_jobs() -> dict[str, SimulationJob]:
 
 
 def result_digest(result) -> str:
-    """Stable sha256 of a RunResult's full serialised content."""
-    payload = json.dumps(result.to_dict(), sort_keys=True, separators=(",", ":"))
+    """Stable sha256 of a RunResult's timing content.
+
+    Hashes the serialisation of :data:`TIMING_DIGEST_FIELDS` — byte-identical
+    to the full ``to_dict`` serialisation of the pre-energy schema, so every
+    digest recorded before the energy subsystem remains directly comparable.
+    """
+    data = result.to_dict()
+    payload = json.dumps(
+        {name: data[name] for name in TIMING_DIGEST_FIELDS},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def energy_digest(result) -> str:
+    """Stable sha256 of a run's activity counters and energy breakdown.
+
+    Covers the new activity/structure fields of the ``RunResult`` *and* the
+    derived :class:`~repro.energy.EnergyReport`, so both the counters and
+    the energy model's arithmetic are pinned.
+    """
+    data = result.to_dict()
+    activity = {
+        name: value for name, value in data.items() if name not in TIMING_DIGEST_FIELDS
+    }
+    payload = json.dumps(
+        {"activity": activity, "energy": energy_report(result).to_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+#: Pinned energy digests of representative golden jobs, one per machine
+#: style.  Recorded when the energy-accounting subsystem landed; any
+#: divergence means either an activity counter or the energy model's
+#: arithmetic changed, which must be intentional and declared.
+ENERGY_GOLDEN_DIGESTS = {
+    "gcc/phase_adaptive": "6cee7c3ee979d668a69426f8fa20228d2df058fb8e2c720b54d84bec736c4abf",
+    "em3d/synchronous": "5fba102f38add920154310b79f23947b6203657b452a2769fd005224375b770d",
+    "gcc/program_adaptive": "3b4d88e9f8a76f6c0774554614685f446a7e7c555ad54c35c9499f3ce5f0dc5d",
+}
+
+#: Golden jobs whose energy digests are pinned (see test_golden_values.py).
+ENERGY_GOLDEN_JOBS = tuple(ENERGY_GOLDEN_DIGESTS)
+
+
 def compute_digests() -> dict[str, str]:
-    """Simulate every golden job and return its digest."""
+    """Simulate every golden job and return its timing digest."""
     return {name: result_digest(run_job(job)) for name, job in golden_jobs().items()}
+
+
+def compute_energy_digests() -> dict[str, str]:
+    """Simulate the energy golden jobs and return their energy digests."""
+    jobs = golden_jobs()
+    return {name: energy_digest(run_job(jobs[name])) for name in ENERGY_GOLDEN_JOBS}
 
 
 if __name__ == "__main__":
     for name, digest in compute_digests().items():
+        print(f'    "{name}": "{digest}",')
+    print("energy:")
+    for name, digest in compute_energy_digests().items():
         print(f'    "{name}": "{digest}",')

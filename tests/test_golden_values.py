@@ -21,7 +21,12 @@ from __future__ import annotations
 
 import pytest
 
-from golden_digests import golden_jobs, result_digest
+from golden_digests import (
+    ENERGY_GOLDEN_DIGESTS,
+    energy_digest,
+    golden_jobs,
+    result_digest,
+)
 from repro.engine import run_job
 
 #: sha256 of the canonical JSON serialisation of each golden job's RunResult.
@@ -48,4 +53,20 @@ def test_run_result_matches_pre_optimisation_golden_digest(name):
     assert result_digest(run_job(job)) == GOLDEN_DIGESTS[name], (
         f"RunResult for {name} diverged from the recorded pre-optimisation "
         "behaviour; hot-path changes must be bit-identical"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(ENERGY_GOLDEN_DIGESTS))
+def test_energy_accounting_matches_golden_digest(name):
+    """Pin the activity counters and the energy model's arithmetic.
+
+    The energy digest covers the post-timing ``RunResult`` fields plus the
+    derived :class:`~repro.energy.EnergyReport`; the timing digests above
+    separately guarantee that recording this activity never perturbed
+    simulated behaviour.
+    """
+    job = golden_jobs()[name]
+    assert energy_digest(run_job(job)) == ENERGY_GOLDEN_DIGESTS[name], (
+        f"energy accounting for {name} diverged from the recorded breakdown; "
+        "counter or energy-model changes must be intentional and declared"
     )

@@ -2,9 +2,20 @@
 
 from __future__ import annotations
 
+import warnings
+
+import pytest
+
 from repro.workloads import get_workload
 from repro.workloads.generator import SyntheticTraceGenerator
-from repro.workloads.trace_cache import ReplayableTrace, cached_trace, clear_trace_cache
+from repro.workloads.trace_cache import (
+    DEFAULT_CACHE_TRACES,
+    ReplayableTrace,
+    _cache_limit,
+    _reset_limit_warning,
+    cached_trace,
+    clear_trace_cache,
+)
 
 
 class TestReplayableTrace:
@@ -79,3 +90,38 @@ class TestCachedTrace:
         cached_trace(gcc, seed=2)
         cached_trace(gcc, seed=3)  # evicts seed=1
         assert cached_trace(gcc, seed=1) is not first
+
+
+class TestCacheLimitParsing:
+    def setup_method(self):
+        clear_trace_cache()
+        _reset_limit_warning()
+
+    def teardown_method(self):
+        clear_trace_cache()
+        _reset_limit_warning()
+
+    def test_default_without_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        assert _cache_limit() == DEFAULT_CACHE_TRACES
+
+    def test_negative_values_clamp_to_zero(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "-3")
+        assert _cache_limit() == 0
+        # Clamped-to-zero behaves exactly like an explicit 0: no memoisation.
+        profile = get_workload("gcc")
+        assert cached_trace(profile, seed=1) is not cached_trace(profile, seed=1)
+
+    def test_unparsable_value_warns_once_and_uses_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "lots")
+        with pytest.warns(RuntimeWarning, match="REPRO_TRACE_CACHE"):
+            assert _cache_limit() == DEFAULT_CACHE_TRACES
+        # The warning is one-time per process.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert _cache_limit() == DEFAULT_CACHE_TRACES
+        assert not caught
+
+    def test_valid_values_parse(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", "7")
+        assert _cache_limit() == 7
