@@ -18,11 +18,11 @@ from repro.bench.schema import BenchEntry
 #: Recorded entries kept per experiment (oldest dropped first).
 BENCH_HISTORY_LIMIT = 50
 
-#: Suites whose history rides in another suite's file.  The sensitivity and
-#: energy suites record into the historical ``BENCH_sweep.json`` trajectory
-#: (each under its own experiment key), keeping all sweep-layer timings in
-#: one place.
-SUITE_FILE_ALIASES = {"sensitivity": "sweep", "energy": "sweep"}
+#: Suites whose history rides in another suite's file.  The sensitivity,
+#: energy and scenarios suites record into the historical ``BENCH_sweep.json``
+#: trajectory (each under its own experiment key), keeping all sweep-layer
+#: timings in one place.
+SUITE_FILE_ALIASES = {"sensitivity": "sweep", "energy": "sweep", "scenarios": "sweep"}
 
 
 def default_output_dir() -> Path:

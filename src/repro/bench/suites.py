@@ -287,11 +287,83 @@ def run_sensitivity_suite(*, quick: bool = False, workers: int = 1) -> BenchEntr
     return _entry("sensitivity", parameters, runs, calibration)
 
 
+#: Scenario subset for the scenarios suite: a controller-adversarial
+#: capacity wave and a queue-tracking stressor (quick); a spread over all
+#: four scenario families (full).
+QUICK_SCENARIO_NAMES = ("adv-period-1x-interval", "adv-hysteresis-outside-queue")
+FULL_SCENARIO_NAMES = (
+    "arch-pointer-chasing",
+    "adv-period-1x-interval",
+    "adv-period-4x-interval",
+    "adv-hysteresis-outside-queue",
+    "paper-apsi-capacity",
+    "ramp-capacity-sawtooth",
+)
+
+#: Full-size windows of the scenarios suite; the quick window/warmup pair is
+#: imported from the campaign CLI so the bench times the same run
+#: parameterisation the CI smoke matrix uses (over the smaller
+#: QUICK_SCENARIO_NAMES set — the bench guards the hot path, not all 16
+#: smoke scenarios).
+FULL_SCENARIO_WINDOW, FULL_SCENARIO_WARMUP = (6_000, 12_000)
+
+
+def run_scenarios_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time a scenario campaign matrix (scenario set x three machine styles).
+
+    Guards the scenario subsystem's end-to-end path: spec materialisation,
+    the engine-batched three-machine expansion, and the controller-behaviour
+    accounting of the matrix rows.
+    """
+    from repro.scenarios import get_scenario, run_campaign
+    from repro.scenarios.cli import (
+        QUICK_WARMUP as QUICK_SCENARIO_WARMUP,
+        QUICK_WINDOW as QUICK_SCENARIO_WINDOW,
+    )
+
+    window, warmup = (
+        (QUICK_SCENARIO_WINDOW, QUICK_SCENARIO_WARMUP)
+        if quick
+        else (FULL_SCENARIO_WINDOW, FULL_SCENARIO_WARMUP)
+    )
+    names = QUICK_SCENARIO_NAMES if quick else FULL_SCENARIO_NAMES
+    scenarios = [get_scenario(name) for name in names]
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "scenarios": list(names),
+        "search_mode": "factored",
+    }
+
+    engine = _fresh_engine(workers)
+    calibration = calibrate()
+    result, seconds = timed(
+        run_campaign,
+        scenarios,
+        search_mode="factored",
+        window=window,
+        warmup=warmup,
+        engine=engine,
+    )
+    runs = [
+        BenchRun(
+            name="scenario_campaign_matrix",
+            seconds=seconds,
+            simulations=engine.stats.simulations,
+            cache_hits=engine.stats.cache_hits,
+            extra={"rows": len(result.rows)},
+        )
+    ]
+    return _entry("scenarios", parameters, runs, calibration)
+
+
 #: Registry of available suites.
 SUITES: dict[str, Callable[..., BenchEntry]] = {
     "energy": run_energy_suite,
     "fig2": run_fig2_suite,
     "fig6": run_fig6_suite,
+    "scenarios": run_scenarios_suite,
     "sweep": run_sweep_suite,
     "sensitivity": run_sensitivity_suite,
 }

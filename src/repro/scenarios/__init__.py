@@ -1,0 +1,55 @@
+"""Scenario campaigns: declarative workloads, stress generators, matrices.
+
+The scenario subsystem turns the simulator into a general evaluation
+platform.  It has three layers:
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec`, the declarative,
+  validated, JSON-round-trippable description of one workload scenario
+  (base profile + delta + phase program);
+* :mod:`repro.scenarios.archetypes` and :mod:`repro.scenarios.library` —
+  parameterised archetype builders and the built-in library of named
+  scenarios, including the controller-adversarial stress families;
+* :mod:`repro.scenarios.campaign` — the engine-batched campaign driver that
+  expands a scenario set across the three machine styles and renders the
+  matrix report (``python -m repro.scenarios`` is the CLI).
+"""
+
+from repro.scenarios.archetypes import ARCHETYPES, archetype_overrides
+from repro.scenarios.campaign import (
+    MACHINE_STYLES,
+    CampaignResult,
+    CampaignRow,
+    count_reconfigurations,
+    run_campaign,
+)
+from repro.scenarios.library import (
+    CONTROLLER_INTERVAL,
+    FAMILIES,
+    QUICK_MATRIX_SCENARIOS,
+    SCENARIO_WINDOW,
+    SCENARIOS,
+    get_scenario,
+    scenario_names,
+    scenarios_in_family,
+)
+from repro.scenarios.spec import SCENARIO_SUITE, ScenarioSpec
+
+__all__ = [
+    "ARCHETYPES",
+    "CONTROLLER_INTERVAL",
+    "CampaignResult",
+    "CampaignRow",
+    "FAMILIES",
+    "MACHINE_STYLES",
+    "QUICK_MATRIX_SCENARIOS",
+    "SCENARIOS",
+    "SCENARIO_SUITE",
+    "SCENARIO_WINDOW",
+    "ScenarioSpec",
+    "archetype_overrides",
+    "count_reconfigurations",
+    "get_scenario",
+    "run_campaign",
+    "scenario_names",
+    "scenarios_in_family",
+]

@@ -1,0 +1,153 @@
+"""Parameterised workload archetypes.
+
+Each archetype is a named, tunable profile delta capturing one canonical
+program behaviour — the axes along which the paper's 32 applications differ.
+They are the raw material of the scenario library: an archetype gives a
+scenario its steady-state character, the phase program (from
+:mod:`repro.workloads.phases`) gives it its dynamics.
+
+Every builder returns a plain override dict for
+:class:`~repro.scenarios.spec.ScenarioSpec`'s ``overrides`` field, so
+archetypes compose with any base profile and remain JSON-representable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+
+def pointer_chasing(
+    *, footprint_kb: float = 768.0, hot_kb: float = 192.0
+) -> dict[str, Any]:
+    """Linked-structure traversal: random accesses, short dependence chains.
+
+    Serial pointer loads over a working set larger than the minimal D-cache —
+    the Olden signature (``treeadd``/``health``): little ILP for the queues,
+    heavy capacity demand for the D/L2 controller.
+    """
+    return {
+        "load_fraction": 0.30,
+        "store_fraction": 0.08,
+        "data_footprint_kb": footprint_kb,
+        "hot_data_kb": hot_kb,
+        "hot_data_fraction": 0.80,
+        "sequential_fraction": 0.15,
+        "mean_dependence_distance": 3.5,
+        "far_dependence_fraction": 0.15,
+    }
+
+
+def streaming(
+    *, footprint_kb: float = 1024.0, hot_kb: float = 32.0
+) -> dict[str, Any]:
+    """Sequential sweeps over a large array with little reuse.
+
+    High spatial locality but a cold-capacity footprint no cache level holds,
+    so bigger configurations buy little — the shape that should keep the
+    phase-adaptive machine in its smallest, fastest configurations.
+    """
+    return {
+        "load_fraction": 0.30,
+        "store_fraction": 0.14,
+        "data_footprint_kb": footprint_kb,
+        "hot_data_kb": hot_kb,
+        "hot_data_fraction": 0.30,
+        "sequential_fraction": 0.95,
+        "mean_dependence_distance": 14.0,
+        "far_dependence_fraction": 0.30,
+    }
+
+
+def compute_dense(*, fp_fraction: float = 0.55) -> dict[str, Any]:
+    """FP-heavy kernels with long independent chains and a tiny data set.
+
+    The ILP is there for a deep FP queue to harvest; memory barely matters —
+    pressure lands on the issue-queue controller alone.
+    """
+    return {
+        "load_fraction": 0.14,
+        "store_fraction": 0.05,
+        "fp_fraction": fp_fraction,
+        "data_footprint_kb": 48.0,
+        "hot_data_kb": 16.0,
+        "mean_dependence_distance": 22.0,
+        "far_dependence_fraction": 0.30,
+    }
+
+
+def branchy(
+    *, density: float = 0.16, predictable_fraction: float = 0.55
+) -> dict[str, Any]:
+    """Short blocks dense with hard-to-predict, data-dependent branches.
+
+    Misprediction recovery dominates; front-end stalls cap the benefit of
+    any structural upsizing, stressing the controllers' cost attribution.
+    """
+    return {
+        "cond_branch_density": density,
+        "predictable_branch_fraction": predictable_fraction,
+        "hard_branch_bias": 0.52,
+        "block_size": 6,
+        "data_footprint_kb": 96.0,
+        "hot_data_kb": 24.0,
+        "mean_dependence_distance": 6.0,
+    }
+
+
+def icache_thrashing(
+    *, code_kb: float = 96.0, window_kb: float = 56.0
+) -> dict[str, Any]:
+    """Instruction footprint far beyond the minimal I-cache.
+
+    The gcc/vortex shape: a sliding inner window larger than the 16 KB base
+    I-cache forces refill misses, so the I-cache controller must trade
+    frequency for capacity.
+    """
+    return {
+        "code_footprint_kb": code_kb,
+        "inner_window_kb": window_kb,
+        "inner_iterations": 8,
+        "data_footprint_kb": 64.0,
+        "hot_data_kb": 16.0,
+        "mean_dependence_distance": 8.0,
+    }
+
+
+def mixed(*, fp_fraction: float = 0.2) -> dict[str, Any]:
+    """A moderate blend of all pressures — the 'typical application' shape."""
+    return {
+        "load_fraction": 0.26,
+        "store_fraction": 0.11,
+        "fp_fraction": fp_fraction,
+        "cond_branch_density": 0.08,
+        "predictable_branch_fraction": 0.85,
+        "code_footprint_kb": 24.0,
+        "inner_window_kb": 12.0,
+        "data_footprint_kb": 256.0,
+        "hot_data_kb": 48.0,
+        "hot_data_fraction": 0.88,
+        "sequential_fraction": 0.5,
+        "mean_dependence_distance": 9.0,
+    }
+
+
+#: Archetype registry: name -> builder returning an override dict.
+ARCHETYPES: Mapping[str, Callable[..., dict[str, Any]]] = {
+    "pointer_chasing": pointer_chasing,
+    "streaming": streaming,
+    "compute_dense": compute_dense,
+    "branchy": branchy,
+    "icache_thrashing": icache_thrashing,
+    "mixed": mixed,
+}
+
+
+def archetype_overrides(kind: str, **params: Any) -> dict[str, Any]:
+    """Build the override dict of archetype *kind* with *params* applied."""
+    try:
+        builder = ARCHETYPES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown archetype {kind!r}; known archetypes: {sorted(ARCHETYPES)}"
+        ) from None
+    return builder(**params)

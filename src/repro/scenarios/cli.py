@@ -1,0 +1,225 @@
+"""``python -m repro.scenarios`` — browse the library and run campaigns.
+
+Examples::
+
+    python -m repro.scenarios list                      # every scenario
+    python -m repro.scenarios list --family adversarial
+    python -m repro.scenarios describe adv-period-1x-interval
+    python -m repro.scenarios run paper-apsi-capacity --window 6000
+    python -m repro.scenarios matrix --quick --workers auto
+    python -m repro.scenarios matrix --family adversarial --cache-dir .cache
+
+``matrix --quick`` runs the 16-scenario quick subset at CI-sized windows;
+with ``--cache-dir`` a second invocation is served entirely from the result
+cache (the summary line reports ``0 simulations``).  ``--json`` switches any
+subcommand's output to machine-readable JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import format_table
+from repro.engine import make_engine
+from repro.scenarios.campaign import CampaignResult, run_campaign
+from repro.scenarios.library import (
+    FAMILIES,
+    QUICK_MATRIX_SCENARIOS,
+    SCENARIOS,
+    get_scenario,
+)
+from repro.scenarios.spec import ScenarioSpec
+
+#: CI-sized windows for the quick campaign matrix (chosen so the 16-scenario
+#: matrix finishes in about a minute on one worker).
+QUICK_WINDOW = 1_200
+QUICK_WARMUP = 2_000
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.scenarios",
+        description="Browse workload scenarios and run campaign matrices.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="list the scenario library")
+    list_parser.add_argument("--family", choices=FAMILIES, default=None)
+    list_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    describe_parser = subparsers.add_parser("describe", help="show one scenario")
+    describe_parser.add_argument("name")
+    describe_parser.add_argument("--json", action="store_true", dest="as_json")
+
+    def add_run_options(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--window", type=int, default=None, help="measured window")
+        sub.add_argument("--warmup", type=int, default=None, help="warm-up instructions")
+        sub.add_argument(
+            "--search-mode",
+            choices=("factored", "exhaustive"),
+            default="factored",
+            help="Program-Adaptive search mode (default factored)",
+        )
+        sub.add_argument(
+            "--workers",
+            default="1",
+            help='worker processes ("auto" = one per core; default 1)',
+        )
+        sub.add_argument(
+            "--cache-dir",
+            default=None,
+            help="persistent on-disk result cache directory",
+        )
+        sub.add_argument("--json", action="store_true", dest="as_json")
+
+    run_parser = subparsers.add_parser("run", help="run one scenario's comparison")
+    run_parser.add_argument("name")
+    add_run_options(run_parser)
+
+    matrix_parser = subparsers.add_parser(
+        "matrix", help="run the scenario x machine-style campaign matrix"
+    )
+    matrix_parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        help="explicit scenario names (default: the whole library)",
+    )
+    matrix_parser.add_argument(
+        "--family",
+        choices=FAMILIES,
+        default=None,
+        help="restrict the matrix to one family",
+    )
+    matrix_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"16-scenario subset at CI-sized windows "
+        f"(window {QUICK_WINDOW}, warmup {QUICK_WARMUP})",
+    )
+    add_run_options(matrix_parser)
+    return parser.parse_args(argv)
+
+
+def _scenario_table(scenarios: Sequence[ScenarioSpec]) -> str:
+    rows = []
+    for scenario in scenarios:
+        shape = f"{len(scenario.phases)}" if scenario.phases else "steady"
+        rows.append(
+            (
+                scenario.name,
+                scenario.family,
+                scenario.base or "-",
+                shape,
+                scenario.phase_program_length or "-",
+                scenario.description,
+            )
+        )
+    return format_table(
+        ("scenario", "family", "base", "phases", "period", "description"), rows
+    )
+
+
+def _print_campaign(result: CampaignResult, *, as_json: bool) -> None:
+    if as_json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return
+    print(
+        f"Campaign over {len(result.rows)} scenario(s) x 3 machine styles "
+        f"({result.simulations} simulations, {result.cache_hits} cache hits, "
+        f"{result.batch_duplicates} batch duplicates)"
+    )
+    print()
+    print(result.render())
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _parse_args(argv)
+
+    if args.command == "list":
+        scenarios = [
+            scenario
+            for scenario in SCENARIOS.values()
+            if args.family is None or scenario.family == args.family
+        ]
+        if args.as_json:
+            print(json.dumps([s.to_dict() for s in scenarios], indent=2))
+        else:
+            print(_scenario_table(scenarios))
+        return 0
+
+    if args.command == "describe":
+        try:
+            scenario = get_scenario(args.name)
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+        if args.as_json:
+            print(json.dumps(scenario.to_dict(), indent=2))
+            return 0
+        profile = scenario.build_profile()
+        print(scenario.describe())
+        if scenario.description:
+            print(f"  {scenario.description}")
+        print(f"  window: {profile.simulation_window} instructions")
+        if scenario.overrides:
+            print("  profile delta:")
+            for key in sorted(scenario.overrides):
+                print(f"    {key} = {scenario.overrides[key]!r}")
+        if scenario.phases:
+            print(f"  phase program ({scenario.phase_program_length} instructions/cycle):")
+            for index, phase in enumerate(scenario.phases):
+                overrides = ", ".join(
+                    f"{key}={phase.overrides[key]:g}" for key in sorted(phase.overrides)
+                )
+                print(f"    [{index}] {phase.length} instructions: {overrides}")
+        return 0
+
+    # run / matrix share the engine and campaign plumbing.
+    engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+
+    if args.command == "run":
+        try:
+            scenarios = [get_scenario(args.name)]
+        except KeyError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
+    else:
+        if args.scenarios is not None:
+            try:
+                scenarios = [get_scenario(name) for name in args.scenarios]
+            except KeyError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return 2
+        elif args.quick:
+            scenarios = [get_scenario(name) for name in QUICK_MATRIX_SCENARIOS]
+        else:
+            scenarios = list(SCENARIOS.values())
+        if args.family is not None:
+            scenarios = [s for s in scenarios if s.family == args.family]
+        if not scenarios:
+            print("error: no scenarios selected", file=sys.stderr)
+            return 2
+
+    window, warmup = args.window, args.warmup
+    if getattr(args, "quick", False):
+        window = window if window is not None else QUICK_WINDOW
+        warmup = warmup if warmup is not None else QUICK_WARMUP
+
+    result = run_campaign(
+        scenarios,
+        search_mode=args.search_mode,
+        window=window,
+        warmup=warmup,
+        engine=engine,
+    )
+    _print_campaign(result, as_json=args.as_json)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

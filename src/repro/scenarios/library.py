@@ -1,0 +1,414 @@
+"""The built-in scenario library.
+
+Four families, ~25 named scenarios:
+
+* **archetype** — steady-state versions of the six parameterised archetypes
+  (:mod:`repro.scenarios.archetypes`): one dominant pressure each.
+* **adversarial** — phase programs engineered against the phase-adaptive
+  controllers: the phase period swept around the adaptation interval,
+  demand oscillations sized just inside / outside the hysteresis margins,
+  anti-phase cache-vs-queue demand, and bursts shorter than the interval.
+* **paper** — phase programs layered on the paper's own benchmark profiles
+  (apsi's capacity phases, art's ILP phases, mst's bursts, the gcc/em3d
+  steady extremes), derived from :mod:`repro.workloads.suites`.
+* **ramp** — gradual transitions (sawtooth and triangle schedules) that
+  deny the controllers the abrupt phase boundaries the square waves give.
+
+All adversarial timings are expressed relative to
+:data:`CONTROLLER_INTERVAL` — the adaptation interval a
+:data:`SCENARIO_WINDOW`-sized run resolves to — so "period at the
+interval" stays true to its name when the library and the campaign driver
+use the default windows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.engine import default_control_params
+from repro.scenarios.archetypes import archetype_overrides
+from repro.scenarios.spec import ScenarioSpec
+from repro.workloads.phases import (
+    burst_schedule,
+    bursty_conflict_phases,
+    periodic_data_phases,
+    periodic_ilp_phases,
+    ramp,
+    square_wave,
+    triangle,
+)
+
+#: Default measured window of library scenarios (the profile default, spelled
+#: out because the adversarial timings are derived from it).
+SCENARIO_WINDOW = 24_000
+
+#: Adaptation interval a SCENARIO_WINDOW run resolves to (window / 6).
+CONTROLLER_INTERVAL = default_control_params(SCENARIO_WINDOW).interval_instructions
+
+FAMILY_ARCHETYPE = "archetype"
+FAMILY_ADVERSARIAL = "adversarial"
+FAMILY_PAPER = "paper"
+FAMILY_RAMP = "ramp"
+
+FAMILIES = (FAMILY_ARCHETYPE, FAMILY_ADVERSARIAL, FAMILY_PAPER, FAMILY_RAMP)
+
+
+# ---------------------------------------------------------------------------
+# Family builders
+# ---------------------------------------------------------------------------
+
+#: Base delta shared by the data-capacity oscillation scenarios: a footprint
+#: large enough that the hot-region swings below actually change which D/L2
+#: configuration wins.
+_CAPACITY_BASE: Mapping[str, Any] = {
+    "data_footprint_kb": 1024.0,
+    "hot_data_kb": 24.0,
+    "hot_data_fraction": 0.92,
+    "sequential_fraction": 0.5,
+}
+
+#: Cache-friendly and capacity-hungry override sets (the two sides of every
+#: capacity square wave; mirrors the paper's apsi oscillation).
+_CAPACITY_LOW: Mapping[str, Any] = {
+    "hot_data_kb": 24.0,
+    "hot_data_fraction": 0.95,
+    "sequential_fraction": 0.6,
+}
+_CAPACITY_HIGH: Mapping[str, Any] = {
+    "hot_data_kb": 640.0,
+    "hot_data_fraction": 0.85,
+    "sequential_fraction": 0.35,
+}
+
+
+def _archetype_scenarios() -> list[ScenarioSpec]:
+    described = {
+        "pointer_chasing": "Serial pointer chasing over a large linked working set.",
+        "streaming": "Sequential streaming sweeps with a cold-capacity footprint.",
+        "compute_dense": "FP-dense compute with long independent chains, tiny data.",
+        "branchy": "Short blocks dense with hard data-dependent branches.",
+        "icache_thrashing": "Instruction footprint far beyond the minimal I-cache.",
+        "mixed": "A moderate blend of every pressure (typical application).",
+    }
+    return [
+        ScenarioSpec(
+            name=f"arch-{kind.replace('_', '-')}",
+            family=FAMILY_ARCHETYPE,
+            description=description,
+            overrides=archetype_overrides(kind),
+            simulation_window=SCENARIO_WINDOW,
+        )
+        for kind, description in described.items()
+    ]
+
+
+def _adversarial_scenarios() -> list[ScenarioSpec]:
+    interval = CONTROLLER_INTERVAL
+    scenarios: list[ScenarioSpec] = []
+
+    # Phase period swept around the adaptation interval.  At half the
+    # interval every sample averages both phases (the controller should hold
+    # still); at twice the interval every single interval sees a different
+    # phase (maximal confusion); at four times it can track, but only by
+    # paying a PLL relock every other interval.
+    for label, period in (
+        ("half", interval // 2),
+        ("1x", interval),
+        ("2x", 2 * interval),
+        ("4x", 4 * interval),
+    ):
+        scenarios.append(
+            ScenarioSpec(
+                name=f"adv-period-{label}-interval",
+                family=FAMILY_ADVERSARIAL,
+                description=(
+                    f"Data-capacity square wave, full period {period} instructions "
+                    f"({label} adaptation interval)."
+                ),
+                overrides=_CAPACITY_BASE,
+                phases=square_wave(_CAPACITY_LOW, _CAPACITY_HIGH, period=period),
+                simulation_window=SCENARIO_WINDOW,
+            )
+        )
+
+    # Oscillations sized against the hysteresis margins: the inside variant's
+    # demand swing is too small to justify a (relock-costing) change, the
+    # outside variant's clearly is not — a controller with working hysteresis
+    # holds still on the first and tracks the second.
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-hysteresis-inside-cache",
+            family=FAMILY_ADVERSARIAL,
+            description="Capacity flutter just inside the cache hysteresis margin.",
+            overrides=_CAPACITY_BASE,
+            phases=square_wave(
+                {"hot_data_kb": 24.0},
+                {"hot_data_kb": 30.0},
+                period=2 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-hysteresis-outside-cache",
+            family=FAMILY_ADVERSARIAL,
+            description="Capacity swing clearly beyond the cache hysteresis margin.",
+            overrides=_CAPACITY_BASE,
+            phases=square_wave(
+                {"hot_data_kb": 24.0},
+                {"hot_data_kb": 128.0},
+                period=2 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+    # The queue scenarios ride on art's memory-bound base: deeper queues only
+    # pay off with long-latency work in flight, and the queue controller needs
+    # three consecutive agreeing intervals before it resizes — so each phase
+    # holds for three intervals.
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-hysteresis-inside-queue",
+            family=FAMILY_ADVERSARIAL,
+            description="ILP flutter too small to beat the queue hysteresis.",
+            base="art",
+            phases=square_wave(
+                {"mean_dependence_distance": 8.0},
+                {"mean_dependence_distance": 10.0},
+                period=6 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-hysteresis-outside-queue",
+            family=FAMILY_ADVERSARIAL,
+            description="ILP swing the queue controller must track through its sizes.",
+            base="art",
+            phases=square_wave(
+                {"mean_dependence_distance": 4.0, "far_dependence_fraction": 0.2},
+                {"mean_dependence_distance": 45.0, "far_dependence_fraction": 0.2},
+                period=6 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+
+    # Anti-phase cache vs. queue demand: capacity peaks exactly when ILP
+    # bottoms out, so no single configuration serves both domains and the two
+    # controllers are pushed in opposite directions every phase.
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-anti-phase-cache-queue",
+            family=FAMILY_ADVERSARIAL,
+            description="Capacity demand and ILP strictly out of phase.",
+            overrides=_CAPACITY_BASE,
+            phases=square_wave(
+                {**_CAPACITY_LOW, "mean_dependence_distance": 40.0},
+                {**_CAPACITY_HIGH, "mean_dependence_distance": 4.0},
+                period=6 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-in-phase-cache-queue",
+            family=FAMILY_ADVERSARIAL,
+            description="Capacity demand and ILP rising together (control pair).",
+            overrides=_CAPACITY_BASE,
+            phases=square_wave(
+                {**_CAPACITY_LOW, "mean_dependence_distance": 4.0},
+                {**_CAPACITY_HIGH, "mean_dependence_distance": 40.0},
+                period=6 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+
+    # A burst shorter than the interval: the mst pathology, parameterised.
+    scenarios.append(
+        ScenarioSpec(
+            name="adv-burst-sub-interval",
+            family=FAMILY_ADVERSARIAL,
+            description="Conflict bursts one quarter of the adaptation interval long.",
+            overrides=_CAPACITY_BASE,
+            phases=burst_schedule(
+                {"hot_data_kb": 24.0, "hot_data_fraction": 0.9},
+                {"hot_data_kb": 96.0, "hot_data_fraction": 0.75, "sequential_fraction": 0.2},
+                quiet_length=3 * interval,
+                burst_length=max(1, interval // 4),
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        )
+    )
+    return scenarios
+
+
+def _paper_scenarios() -> list[ScenarioSpec]:
+    phase_length = 3 * CONTROLLER_INTERVAL // 2
+    return [
+        ScenarioSpec(
+            name="paper-apsi-capacity",
+            family=FAMILY_PAPER,
+            description="apsi's periodic data-capacity phases at campaign pacing.",
+            base="apsi",
+            phases=periodic_data_phases(phase_length=phase_length),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="paper-art-ilp",
+            family=FAMILY_PAPER,
+            description="art's four-size ILP cycle at campaign pacing.",
+            base="art",
+            phases=periodic_ilp_phases(phase_length=phase_length),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="paper-mst-bursty",
+            family=FAMILY_PAPER,
+            description="mst's short conflict bursts between long quiet stretches.",
+            base="mst",
+            phases=bursty_conflict_phases(),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="paper-gcc-icache",
+            family=FAMILY_PAPER,
+            description="gcc's steady instruction-footprint pressure.",
+            base="gcc",
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="paper-em3d-membound",
+            family=FAMILY_PAPER,
+            description="em3d's steady memory-bound capacity pressure.",
+            base="em3d",
+            simulation_window=SCENARIO_WINDOW,
+        ),
+    ]
+
+
+def _ramp_scenarios() -> list[ScenarioSpec]:
+    interval = CONTROLLER_INTERVAL
+    return [
+        ScenarioSpec(
+            name="ramp-capacity-sawtooth",
+            family=FAMILY_RAMP,
+            description="Hot working set growing gradually, then resetting abruptly.",
+            overrides=_CAPACITY_BASE,
+            phases=ramp(
+                {"hot_data_kb": 16.0, "hot_data_fraction": 0.95},
+                {"hot_data_kb": 512.0, "hot_data_fraction": 0.85},
+                steps=6,
+                total_length=4 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="ramp-ilp-triangle",
+            family=FAMILY_RAMP,
+            description="Exploitable ILP rising and falling gradually (art base).",
+            base="art",
+            phases=triangle(
+                {"mean_dependence_distance": 4.0},
+                {"mean_dependence_distance": 40.0},
+                steps=4,
+                period=8 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="ramp-branch-entropy",
+            family=FAMILY_RAMP,
+            description="Branch predictability degrading gradually, then resetting.",
+            overrides={
+                "cond_branch_density": 0.10,
+                "data_footprint_kb": 128.0,
+                "hot_data_kb": 32.0,
+            },
+            phases=ramp(
+                {"predictable_branch_fraction": 0.95, "hard_branch_bias": 0.60},
+                {"predictable_branch_fraction": 0.55, "hard_branch_bias": 0.52},
+                steps=4,
+                total_length=4 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+        ScenarioSpec(
+            name="ramp-memory-mix-triangle",
+            family=FAMILY_RAMP,
+            description="Memory intensity swelling and receding gradually.",
+            overrides={"data_footprint_kb": 512.0, "hot_data_kb": 128.0},
+            phases=triangle(
+                {"load_fraction": 0.12, "store_fraction": 0.05},
+                {"load_fraction": 0.32, "store_fraction": 0.14},
+                steps=3,
+                period=4 * interval,
+            ),
+            simulation_window=SCENARIO_WINDOW,
+        ),
+    ]
+
+
+def _build_library() -> dict[str, ScenarioSpec]:
+    library: dict[str, ScenarioSpec] = {}
+    for scenario in (
+        *_archetype_scenarios(),
+        *_adversarial_scenarios(),
+        *_paper_scenarios(),
+        *_ramp_scenarios(),
+    ):
+        if scenario.name in library:
+            raise ValueError(f"duplicate scenario name {scenario.name!r}")
+        library[scenario.name] = scenario
+    return library
+
+
+#: All built-in scenarios keyed by name (insertion order = family order).
+SCENARIOS: Mapping[str, ScenarioSpec] = _build_library()
+
+#: The 16-scenario subset the quick campaign matrix runs: every adversarial
+#: scenario plus representative archetype / paper / ramp members.
+QUICK_MATRIX_SCENARIOS: tuple[str, ...] = (
+    "arch-pointer-chasing",
+    "arch-icache-thrashing",
+    "adv-period-half-interval",
+    "adv-period-1x-interval",
+    "adv-period-2x-interval",
+    "adv-period-4x-interval",
+    "adv-hysteresis-inside-cache",
+    "adv-hysteresis-outside-cache",
+    "adv-hysteresis-inside-queue",
+    "adv-hysteresis-outside-queue",
+    "adv-anti-phase-cache-queue",
+    "adv-in-phase-cache-queue",
+    "adv-burst-sub-interval",
+    "paper-apsi-capacity",
+    "paper-art-ilp",
+    "ramp-capacity-sawtooth",
+)
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Names of every built-in scenario, in library order."""
+    return tuple(SCENARIOS)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a built-in scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known scenarios: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+
+
+def scenarios_in_family(family: str) -> tuple[ScenarioSpec, ...]:
+    """Every built-in scenario of *family*, in library order."""
+    if family not in FAMILIES:
+        raise KeyError(f"unknown scenario family {family!r}; known: {FAMILIES}")
+    return tuple(s for s in SCENARIOS.values() if s.family == family)

@@ -18,6 +18,15 @@ as instruction-footprint bound, ``apsi`` and ``art`` as strongly phased).
 
 from repro.workloads.characteristics import PhaseSpec, WorkloadProfile
 from repro.workloads.generator import SyntheticTraceGenerator
+from repro.workloads.phases import (
+    burst_schedule,
+    bursty_conflict_phases,
+    periodic_data_phases,
+    periodic_ilp_phases,
+    ramp,
+    square_wave,
+    triangle,
+)
 from repro.workloads.suites import (
     BENCHMARK_SUITES,
     full_suite,
@@ -33,10 +42,17 @@ __all__ = [
     "WorkloadProfile",
     "SyntheticTraceGenerator",
     "BENCHMARK_SUITES",
+    "burst_schedule",
+    "bursty_conflict_phases",
     "full_suite",
     "get_workload",
     "mediabench_suite",
     "olden_suite",
+    "periodic_data_phases",
+    "periodic_ilp_phases",
+    "ramp",
     "spec2000_suite",
+    "square_wave",
+    "triangle",
     "workload_names",
 ]

@@ -7,6 +7,12 @@ from types import MappingProxyType
 from typing import Any, Mapping
 
 
+#: Fields that document a profile without influencing the generated
+#: instruction stream.  The trace cache keys on everything *except* these, so
+#: editing a docstring-like field cannot evict or duplicate a cached trace.
+DOC_ONLY_FIELDS = frozenset({"description", "paper_dataset", "paper_window"})
+
+
 #: Profile fields that a phase may override.  Structural fields (code layout,
 #: block size) stay fixed across phases because the static program does not
 #: change at run time.
@@ -64,6 +70,23 @@ class PhaseSpec:
     def from_dict(cls, data: Mapping[str, Any]) -> "PhaseSpec":
         """Rebuild a phase from :meth:`to_dict` output."""
         return cls(length=data["length"], overrides=dict(data.get("overrides", {})))
+
+
+#: Dynamic parameters that must stay inside the unit interval, checked by
+#: :meth:`WorkloadProfile.validate` for the base profile and every phase.
+_UNIT_FRACTION_FIELDS = (
+    "load_fraction",
+    "store_fraction",
+    "fp_fraction",
+    "int_mult_fraction",
+    "fp_mult_fraction",
+    "cond_branch_density",
+    "predictable_branch_fraction",
+    "hard_branch_bias",
+    "hot_data_fraction",
+    "sequential_fraction",
+    "far_dependence_fraction",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -184,6 +207,70 @@ class WorkloadProfile:
             raise ValueError("mean_dependence_distance must be >= 1")
         if self.simulation_window <= 0:
             raise ValueError("simulation_window must be positive")
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> "WorkloadProfile":
+        """Validate the profile including the *effective* values of every phase.
+
+        ``__post_init__`` guards the base fields, but phase overrides are
+        applied long after construction and can push a parameter out of range
+        (``hot_data_fraction`` of 2, a hot region larger than the footprint,
+        a memory mix above 100 %).  ``validate`` re-checks the dynamic
+        parameter set for the base profile and for each phase after its
+        overrides are applied, raising :class:`ValueError` with the offending
+        context and field named.  Returns ``self`` so constructors can chain
+        (``profile.validate()``).
+        """
+        # Structural fields (block_size, code layout, window) are not phase
+        # overridable, so ``__post_init__`` has already validated them on
+        # every construction path; only the dynamic set needs re-checking.
+        base = {name: getattr(self, name) for name in PHASE_OVERRIDABLE_FIELDS}
+        self._validate_dynamic_params(base, context=f"profile {self.name!r}")
+        for index, phase in enumerate(self.phases):
+            effective = dict(base)
+            effective.update(phase.overrides)
+            self._validate_dynamic_params(
+                effective, context=f"profile {self.name!r}, phase {index}"
+            )
+        return self
+
+    @staticmethod
+    def _validate_dynamic_params(values: Mapping[str, Any], *, context: str) -> None:
+        """Check one resolved set of dynamic parameters (base or per-phase)."""
+        for name in _UNIT_FRACTION_FIELDS:
+            value = values[name]
+            if not 0 <= value <= 1:
+                raise ValueError(
+                    f"{context}: {name} must be within [0, 1], got {value!r}"
+                )
+        memory_mix = (
+            values["load_fraction"]
+            + values["store_fraction"]
+            + values["cond_branch_density"]
+        )
+        if memory_mix > 0.85:
+            raise ValueError(
+                f"{context}: load_fraction ({values['load_fraction']:g}) + "
+                f"store_fraction ({values['store_fraction']:g}) + "
+                f"cond_branch_density ({values['cond_branch_density']:g}) = "
+                f"{memory_mix:g} leaves no room for compute operations (max 0.85)"
+            )
+        if values["data_footprint_kb"] <= 0 or values["hot_data_kb"] <= 0:
+            raise ValueError(
+                f"{context}: data_footprint_kb ({values['data_footprint_kb']!r}) and "
+                f"hot_data_kb ({values['hot_data_kb']!r}) must be positive"
+            )
+        if values["hot_data_kb"] > values["data_footprint_kb"]:
+            raise ValueError(
+                f"{context}: hot_data_kb ({values['hot_data_kb']:g}) cannot exceed "
+                f"data_footprint_kb ({values['data_footprint_kb']:g})"
+            )
+        if values["mean_dependence_distance"] < 1:
+            raise ValueError(
+                f"{context}: mean_dependence_distance must be >= 1, got "
+                f"{values['mean_dependence_distance']!r}"
+            )
 
     @property
     def is_floating_point(self) -> bool:

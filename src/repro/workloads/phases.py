@@ -14,7 +14,7 @@ are also reusable for user-defined phased workloads.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Mapping, Sequence
 
 from repro.workloads.characteristics import PhaseSpec
 
@@ -116,3 +116,151 @@ def bursty_conflict_phases(
         },
     )
     return (quiet, burst)
+
+
+# ---------------------------------------------------------------------------
+# Generic schedule builders (used by repro.scenarios)
+# ---------------------------------------------------------------------------
+#
+# The helpers above encode the three phase behaviours the paper describes;
+# the builders below are the generic vocabulary the scenario subsystem
+# composes: abrupt periodic alternation (square wave), gradual linear
+# transitions (ramp, and its periodic triangle form) and asymmetric bursts.
+# All of them return plain ``PhaseSpec`` tuples, so they compose with the
+# paper-shaped helpers and with hand-written phase programs.
+
+
+def _interpolate_overrides(
+    start: Mapping[str, Any], end: Mapping[str, Any], t: float
+) -> dict[str, Any]:
+    """Linear interpolation between two override mappings at position *t*.
+
+    Both endpoints must override the same numeric fields; anything else would
+    silently snap a parameter back to the profile default mid-ramp.
+    """
+    if set(start) != set(end):
+        raise ValueError(
+            "ramp endpoints must override the same fields; "
+            f"start has {sorted(start)}, end has {sorted(end)}"
+        )
+    interpolated: dict[str, Any] = {}
+    for key, start_value in start.items():
+        end_value = end[key]
+        if not isinstance(start_value, (int, float)) or not isinstance(
+            end_value, (int, float)
+        ):
+            raise ValueError(f"ramp field {key!r} must be numeric at both endpoints")
+        interpolated[key] = start_value + (end_value - start_value) * t
+    return interpolated
+
+
+def square_wave(
+    low: Mapping[str, Any],
+    high: Mapping[str, Any],
+    *,
+    period: int,
+    duty: float = 0.5,
+) -> tuple[PhaseSpec, ...]:
+    """Abrupt periodic alternation between two override sets.
+
+    One full period is ``period`` instructions, of which a ``duty`` fraction
+    runs the *high* overrides.  The phase cycle repeats for the whole run, so
+    the workload oscillates for as long as it is simulated — the basic
+    stimulus for stressing a controller whose adaptation interval is
+    comparable to the period.
+    """
+    if period < 2:
+        raise ValueError("square_wave period must be at least 2 instructions")
+    if not 0 < duty < 1:
+        raise ValueError("square_wave duty must be strictly between 0 and 1")
+    high_length = min(period - 1, max(1, round(period * duty)))
+    return (
+        PhaseSpec(length=period - high_length, overrides=low),
+        PhaseSpec(length=high_length, overrides=high),
+    )
+
+
+def ramp(
+    start: Mapping[str, Any],
+    end: Mapping[str, Any],
+    *,
+    steps: int,
+    total_length: int,
+) -> tuple[PhaseSpec, ...]:
+    """Gradual linear transition from *start* to *end* over *steps* phases.
+
+    The ``total_length`` instructions are split evenly across the steps (the
+    remainder goes to the earliest steps).  Because profiles cycle their
+    phase list, the ramp repeats as a sawtooth: a slow build-up followed by
+    an abrupt reset to the start — the gradual counterpart of
+    :func:`square_wave`.
+    """
+    if steps < 2:
+        raise ValueError("ramp needs at least 2 steps")
+    if total_length < steps:
+        raise ValueError("ramp total_length must provide at least 1 instruction per step")
+    base_length, remainder = divmod(total_length, steps)
+    phases = []
+    for index in range(steps):
+        t = index / (steps - 1)
+        phases.append(
+            PhaseSpec(
+                length=base_length + (1 if index < remainder else 0),
+                overrides=_interpolate_overrides(start, end, t),
+            )
+        )
+    return tuple(phases)
+
+
+def triangle(
+    low: Mapping[str, Any],
+    high: Mapping[str, Any],
+    *,
+    steps: int,
+    period: int,
+) -> tuple[PhaseSpec, ...]:
+    """Gradual periodic oscillation: ramp up to *high*, then back down.
+
+    ``steps`` counts the distinct levels of each leg; the peak and the
+    trough are each held exactly once per cycle (the trough by the wrap
+    back to the first phase), giving ``2 * steps - 2`` phases whose lengths
+    sum to exactly ``period`` instructions.  Unlike the sawtooth cycle of
+    :func:`ramp`, the descent is as gradual as the ascent, so a trailing
+    controller is never hit with an abrupt reset.
+    """
+    if steps < 2:
+        raise ValueError("triangle needs at least 2 steps")
+    positions = [index / (steps - 1) for index in range(steps)]
+    # Ascent holds every level once; the descent revisits the interior
+    # levels in reverse (the wrap to phase 0 supplies the trough).
+    cycle = positions + positions[-2:0:-1]
+    if period < len(cycle):
+        raise ValueError("triangle period must provide at least 1 instruction per phase")
+    base_length, remainder = divmod(period, len(cycle))
+    return tuple(
+        PhaseSpec(
+            length=base_length + (1 if index < remainder else 0),
+            overrides=_interpolate_overrides(low, high, t),
+        )
+        for index, t in enumerate(cycle)
+    )
+
+
+def burst_schedule(
+    quiet: Mapping[str, Any],
+    burst: Mapping[str, Any],
+    *,
+    quiet_length: int,
+    burst_length: int,
+) -> tuple[PhaseSpec, ...]:
+    """Asymmetric bursts: long *quiet* stretches punctuated by short *bursts*.
+
+    The generic form of :func:`bursty_conflict_phases` — any override set can
+    burst, not just conflict-miss pressure.  A burst shorter than the
+    controller's adaptation interval is the paper's ``mst`` pathology: the
+    controller reacts one interval late and flips back afterwards.
+    """
+    return (
+        PhaseSpec(length=quiet_length, overrides=quiet),
+        PhaseSpec(length=burst_length, overrides=burst),
+    )

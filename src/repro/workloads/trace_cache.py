@@ -25,7 +25,7 @@ from collections import OrderedDict
 from typing import Iterator
 
 from repro.isa.instruction import Instruction
-from repro.workloads.characteristics import WorkloadProfile
+from repro.workloads.characteristics import DOC_ONLY_FIELDS, WorkloadProfile
 from repro.workloads.generator import SyntheticTraceGenerator
 
 #: Default number of distinct (profile, seed) traces memoised per process.
@@ -126,7 +126,18 @@ _cache: "OrderedDict[tuple[str, int], ReplayableTrace]" = OrderedDict()
 
 
 def _profile_key(profile: WorkloadProfile) -> str:
-    return json.dumps(profile.to_dict(), sort_keys=True, separators=(",", ":"))
+    """Cache key over the fields that influence the generated stream.
+
+    Doc-only fields (``description`` and the paper-provenance records) are
+    excluded: editing one must neither evict a cached trace nor make two
+    otherwise-identical profiles miss each other's stream.
+    """
+    data = {
+        key: value
+        for key, value in profile.to_dict().items()
+        if key not in DOC_ONLY_FIELDS
+    }
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
 
 
 def cached_trace(profile: WorkloadProfile, *, seed: int) -> ReplayableTrace:

@@ -78,6 +78,26 @@ class TestCachedTrace:
             get_workload("em3d"), seed=1
         )
 
+    def test_description_edits_share_one_cached_stream(self):
+        # Doc-only fields must not key the cache: a profile whose description
+        # was edited replays the exact same cached trace object.
+        profile = get_workload("gcc")
+        edited = profile.with_overrides(description="reworded documentation")
+        assert cached_trace(profile, seed=1) is cached_trace(edited, seed=1)
+
+    def test_paper_provenance_edits_share_one_cached_stream(self):
+        profile = get_workload("gcc")
+        edited = profile.with_overrides(
+            paper_dataset="retyped input", paper_window="retyped window"
+        )
+        assert cached_trace(profile, seed=1) is cached_trace(edited, seed=1)
+
+    def test_generation_parameter_edits_still_miss(self):
+        # The key must stay sensitive to everything that shapes the stream.
+        profile = get_workload("gcc")
+        edited = profile.with_overrides(load_fraction=profile.load_fraction + 0.01)
+        assert cached_trace(profile, seed=1) is not cached_trace(edited, seed=1)
+
     def test_disabled_via_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_CACHE", "0")
         profile = get_workload("gcc")

@@ -20,9 +20,13 @@ from repro.workloads import (
 )
 from repro.workloads.generator import CODE_BASE, HOT_DATA_BASE
 from repro.workloads.phases import (
+    burst_schedule,
     bursty_conflict_phases,
     periodic_data_phases,
     periodic_ilp_phases,
+    ramp,
+    square_wave,
+    triangle,
 )
 
 
@@ -246,3 +250,284 @@ def _dependence_height(profile, count=3000):
             timestamps[inst.dest] = height
         height_total += height
     return height_total / count
+
+
+class TestProfileValidate:
+    """Boundaries of WorkloadProfile.validate (the deep, per-phase checker)."""
+
+    def test_valid_profiles_chain(self, tiny_profile):
+        assert tiny_profile.validate() is tiny_profile
+
+    def test_every_suite_profile_validates(self):
+        for profile in full_suite():
+            profile.validate()
+
+    def test_phase_override_fraction_above_one_rejected(self):
+        profile = WorkloadProfile(
+            name="x",
+            suite="t",
+            phases=(PhaseSpec(length=100, overrides={"hot_data_fraction": 1.5}),),
+        )
+        with pytest.raises(ValueError, match=r"phase 0.*hot_data_fraction"):
+            profile.validate()
+
+    def test_phase_override_negative_footprint_rejected(self):
+        profile = WorkloadProfile(
+            name="x",
+            suite="t",
+            phases=(PhaseSpec(length=100, overrides={"data_footprint_kb": -1.0}),),
+        )
+        with pytest.raises(ValueError, match="positive"):
+            profile.validate()
+
+    def test_phase_hot_region_beyond_footprint_rejected(self):
+        # The base profile is consistent; only the phase's effective values
+        # break the invariant — exactly what __post_init__ cannot see.
+        profile = WorkloadProfile(
+            name="x",
+            suite="t",
+            data_footprint_kb=64.0,
+            hot_data_kb=16.0,
+            phases=(PhaseSpec(length=100, overrides={"hot_data_kb": 128.0}),),
+        )
+        with pytest.raises(ValueError, match="cannot exceed"):
+            profile.validate()
+
+    def test_phase_memory_mix_overflow_rejected(self):
+        profile = WorkloadProfile(
+            name="x",
+            suite="t",
+            phases=(
+                PhaseSpec(
+                    length=100,
+                    overrides={"load_fraction": 0.6, "store_fraction": 0.5},
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="no room for compute"):
+            profile.validate()
+
+    def test_phase_dependence_distance_below_one_rejected(self):
+        profile = WorkloadProfile(
+            name="x",
+            suite="t",
+            phases=(PhaseSpec(length=100, overrides={"mean_dependence_distance": 0.5}),),
+        )
+        with pytest.raises(ValueError, match="mean_dependence_distance"):
+            profile.validate()
+
+    def test_boundary_values_accepted(self):
+        # Exactly-on-the-boundary values are legal: fractions of 0 and 1, a
+        # hot region equal to the footprint, distance exactly 1.
+        WorkloadProfile(
+            name="x",
+            suite="t",
+            phases=(
+                PhaseSpec(
+                    length=1,
+                    overrides={
+                        "hot_data_fraction": 0.0,
+                        "sequential_fraction": 1.0,
+                        "hot_data_kb": 64.0,
+                        "data_footprint_kb": 64.0,
+                        "mean_dependence_distance": 1.0,
+                    },
+                ),
+            ),
+        ).validate()
+
+    def test_messages_name_the_offending_context(self):
+        profile = WorkloadProfile(
+            name="culprit",
+            suite="t",
+            phases=(
+                PhaseSpec(length=100),
+                PhaseSpec(length=100, overrides={"far_dependence_fraction": 2.0}),
+            ),
+        )
+        with pytest.raises(ValueError, match=r"'culprit', phase 1"):
+            profile.validate()
+
+
+class TestGeneratorExtremes:
+    """Scenario-style extremes: degenerate phases and boundary fractions."""
+
+    def _profile(self, **kwargs) -> WorkloadProfile:
+        defaults = dict(
+            name="extreme-test",
+            suite="test",
+            code_footprint_kb=4.0,
+            inner_window_kb=2.0,
+            data_footprint_kb=64.0,
+            hot_data_kb=16.0,
+            simulation_window=2_000,
+        )
+        defaults.update(kwargs)
+        return WorkloadProfile(**defaults)
+
+    def test_zero_length_phase_is_unrepresentable(self):
+        with pytest.raises(ValueError, match="positive"):
+            PhaseSpec(length=0)
+        with pytest.raises(ValueError, match="positive"):
+            PhaseSpec(length=-5)
+
+    def test_singleton_phases_advance_every_instruction(self):
+        profile = self._profile(
+            phases=(
+                PhaseSpec(length=1, overrides={"hot_data_fraction": 0.0}),
+                PhaseSpec(length=1, overrides={"hot_data_fraction": 1.0}),
+            )
+        )
+        generator = SyntheticTraceGenerator(profile, seed=3)
+        indices = []
+        for _ in range(64):
+            generator.generate(1)
+            indices.append(generator.current_phase_index)
+        # One-instruction phases flip the phase index on every instruction.
+        assert set(indices) == {0, 1}
+        assert all(a != b for a, b in zip(indices, indices[1:]))
+
+    def test_hot_fraction_zero_touches_only_the_cold_region(self):
+        profile = self._profile(hot_data_fraction=0.0)
+        hot_bytes = int(profile.hot_data_kb * 1024)
+        addresses = [
+            inst.address
+            for inst in SyntheticTraceGenerator(profile, seed=11).generate(4_000)
+            if inst.address is not None
+        ]
+        assert addresses
+        assert all(address >= HOT_DATA_BASE + hot_bytes for address in addresses)
+
+    def test_hot_fraction_one_touches_only_the_hot_region(self):
+        profile = self._profile(hot_data_fraction=1.0)
+        hot_bytes = int(profile.hot_data_kb * 1024)
+        addresses = [
+            inst.address
+            for inst in SyntheticTraceGenerator(profile, seed=11).generate(4_000)
+            if inst.address is not None
+        ]
+        assert addresses
+        assert all(
+            HOT_DATA_BASE <= address < HOT_DATA_BASE + hot_bytes for address in addresses
+        )
+
+    def test_phase_override_round_trip_preserves_the_stream(self):
+        # PhaseSpec -> dict -> PhaseSpec must reproduce the exact trace.
+        phases = (
+            PhaseSpec(length=37, overrides={"hot_data_fraction": 0.0}),
+            PhaseSpec(
+                length=501,
+                overrides={"mean_dependence_distance": 1.0, "sequential_fraction": 1.0},
+            ),
+        )
+        rebuilt = tuple(PhaseSpec.from_dict(phase.to_dict()) for phase in phases)
+        assert rebuilt == phases
+        original = self._profile(phases=phases)
+        round_tripped = WorkloadProfile.from_dict(original.to_dict())
+        assert round_tripped == original
+        a = SyntheticTraceGenerator(original, seed=5).generate(3_000)
+        b = SyntheticTraceGenerator(round_tripped, seed=5).generate(3_000)
+        assert a == b
+
+    def test_extreme_phase_profile_replays_identically_from_the_cache(self):
+        from repro.workloads.trace_cache import cached_trace, clear_trace_cache
+
+        profile = self._profile(
+            phases=(
+                PhaseSpec(length=1, overrides={"hot_data_fraction": 1.0}),
+                PhaseSpec(length=613, overrides={"hot_data_fraction": 0.0}),
+            )
+        )
+        clear_trace_cache()
+        try:
+            fresh = SyntheticTraceGenerator(profile, seed=8).generate(3_000)
+            cached = cached_trace(profile, seed=8)
+            first = cached.generate(3_000)
+            assert first == fresh
+            # A second consumer (fresh iterator) replays the same objects.
+            replayed = []
+            iterator = cached.instructions()
+            for _ in range(3_000):
+                replayed.append(next(iterator))
+            assert all(x is y for x, y in zip(first, replayed))
+        finally:
+            clear_trace_cache()
+
+
+class TestScheduleBuilders:
+    """The generic schedule vocabulary used by the scenario subsystem."""
+
+    def test_square_wave_period_and_duty(self):
+        low, high = {"hot_data_kb": 8.0}, {"hot_data_kb": 64.0}
+        phases = square_wave(low, high, period=1_000, duty=0.25)
+        assert sum(phase.length for phase in phases) == 1_000
+        assert phases[0].overrides["hot_data_kb"] == 8.0
+        assert phases[1].overrides["hot_data_kb"] == 64.0
+        assert phases[1].length == 250
+
+    def test_square_wave_extreme_duty_keeps_both_phases(self):
+        phases = square_wave({"hot_data_kb": 8.0}, {"hot_data_kb": 64.0}, period=10, duty=0.999)
+        assert all(phase.length >= 1 for phase in phases)
+        assert sum(phase.length for phase in phases) == 10
+
+    def test_square_wave_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            square_wave({}, {}, period=1)
+        with pytest.raises(ValueError):
+            square_wave({}, {}, period=100, duty=0.0)
+        with pytest.raises(ValueError):
+            square_wave({}, {}, period=100, duty=1.0)
+
+    def test_ramp_interpolates_linearly(self):
+        phases = ramp(
+            {"hot_data_kb": 0.0}, {"hot_data_kb": 100.0}, steps=5, total_length=1_000
+        )
+        assert [phase.overrides["hot_data_kb"] for phase in phases] == [
+            0.0,
+            25.0,
+            50.0,
+            75.0,
+            100.0,
+        ]
+        assert sum(phase.length for phase in phases) == 1_000
+
+    def test_ramp_distributes_the_remainder(self):
+        phases = ramp({"hot_data_kb": 1.0}, {"hot_data_kb": 2.0}, steps=3, total_length=100)
+        assert [phase.length for phase in phases] == [34, 33, 33]
+
+    def test_ramp_rejects_mismatched_endpoints(self):
+        with pytest.raises(ValueError, match="same fields"):
+            ramp({"hot_data_kb": 1.0}, {"sequential_fraction": 0.5}, steps=2, total_length=10)
+
+    def test_ramp_rejects_non_numeric_fields(self):
+        with pytest.raises(ValueError, match="numeric"):
+            ramp({"hot_data_kb": "a"}, {"hot_data_kb": "b"}, steps=2, total_length=10)
+
+    def test_triangle_rises_then_falls_holding_the_peak_once(self):
+        phases = triangle(
+            {"mean_dependence_distance": 4.0},
+            {"mean_dependence_distance": 40.0},
+            steps=3,
+            period=600,
+        )
+        values = [phase.overrides["mean_dependence_distance"] for phase in phases]
+        # The wrap back to phase 0 supplies the trough, so the cycle holds
+        # peak and trough exactly once each and sums to the exact period.
+        assert values == [4.0, 22.0, 40.0, 22.0]
+        assert sum(phase.length for phase in phases) == 600
+
+    def test_triangle_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError, match="at least 2 steps"):
+            triangle({"hot_data_kb": 1.0}, {"hot_data_kb": 2.0}, steps=1, period=100)
+        with pytest.raises(ValueError, match="period"):
+            triangle({"hot_data_kb": 1.0}, {"hot_data_kb": 2.0}, steps=3, period=3)
+
+    def test_burst_schedule_is_asymmetric(self):
+        quiet, burst = burst_schedule(
+            {"hot_data_kb": 8.0},
+            {"hot_data_kb": 64.0},
+            quiet_length=9_000,
+            burst_length=500,
+        )
+        assert quiet.length == 9_000 and burst.length == 500
+        assert burst.overrides["hot_data_kb"] > quiet.overrides["hot_data_kb"]
