@@ -7,6 +7,7 @@ Examples::
     python -m repro.bench --suite sweep --quick # one suite
     python -m repro.bench --quick --check       # fail (exit 1) on regression
     python -m repro.bench --quick --update-baseline
+    python -m repro.bench --suite sweep --quick --profile   # cProfile a suite
 
 Every invocation appends one entry per suite to ``BENCH_<suite>.json`` at
 the repository root (disable with ``--no-record``).  ``--check`` compares the
@@ -18,6 +19,8 @@ calibration-normalised metric otherwise.
 from __future__ import annotations
 
 import argparse
+import cProfile
+import pstats
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -79,6 +82,13 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         help="also time the parallel executor with this many workers (sweep suite)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run each suite under cProfile and write a pstats dump plus a "
+        "top-25 cumulative table next to the bench JSON; implies --no-record "
+        "(profiler overhead would pollute the timing history)",
+    )
+    parser.add_argument(
         "--no-record",
         action="store_true",
         help="do not append entries to the BENCH_*.json history files",
@@ -96,6 +106,25 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         "mismatched baseline) instead of skipping it",
     )
     return parser.parse_args(argv)
+
+
+def _write_profile(
+    profiler: cProfile.Profile, suite: str, output_dir: Path
+) -> tuple[Path, Path]:
+    """Write the raw pstats dump and a top-25 cumulative table for *suite*.
+
+    Artifacts land next to the bench JSON: ``BENCH_<suite>.pstats`` (load
+    with :mod:`pstats` for interactive digging) and
+    ``BENCH_<suite>_profile.txt`` (the human-readable starting point for the
+    next performance PR).
+    """
+    dump_path = output_dir / f"BENCH_{suite}.pstats"
+    table_path = output_dir / f"BENCH_{suite}_profile.txt"
+    profiler.dump_stats(dump_path)
+    with table_path.open("w", encoding="utf-8") as handle:
+        stats = pstats.Stats(str(dump_path), stream=handle)
+        stats.sort_stats("cumulative").print_stats(25)
+    return dump_path, table_path
 
 
 def _resolve_suites(selected: list[str] | None) -> list[str]:
@@ -120,10 +149,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         args.baseline if args.baseline is not None else output_dir / "benchmarks" / "baseline.json"
     )
 
+    record = not args.no_record and not args.profile
     entries: dict[str, BenchEntry] = {}
     for name in suites:
         print(f"[bench] running suite {name!r} ({'quick' if args.quick else 'full'})...")
+        if args.profile:
+            profiler = cProfile.Profile()
+            profiler.enable()
         entry = run_suite(name, quick=args.quick, workers=args.workers)
+        if args.profile:
+            profiler.disable()
+            dump_path, table_path = _write_profile(profiler, name, output_dir)
+            print(f"[bench]   profile -> {dump_path} and {table_path}")
         entries[name] = entry
         for run in entry.runs:
             print(
@@ -131,7 +168,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"({run.simulations} simulations, {run.cache_hits} cache hits, "
                 f"{run.normalized:.1f} calibration units)"
             )
-        if not args.no_record:
+        if record:
             path = bench_file_for_suite(name, output_dir)
             append_entry(path, entry)
             print(f"[bench]   recorded -> {path}")

@@ -15,7 +15,7 @@ that domain's work for one cycle.  Times are integer picoseconds throughout.
 from __future__ import annotations
 
 from operator import attrgetter
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.caches.hierarchy import CacheHierarchy
 from repro.caches.memory import MainMemory
@@ -32,8 +32,15 @@ from repro.core.domains import Domain
 from repro.core.pll import PLLModel
 from repro.core.synchronization import DEFAULT_WINDOW_FRACTION, SynchronizationModel
 from repro.isa.instruction import Instruction
-from repro.isa.opcodes import EXECUTION_LATENCY, OpClass, uses_fp_queue
-from repro.isa.registers import is_fp_register, register_index
+from repro.isa.opcodes import (
+    EXECUTION_LATENCY,
+    FLAG_BRANCH,
+    FLAG_MEMORY,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    OpClass,
+)
+from repro.isa.registers import FP_BASE_INDEX
 from repro.pipeline.dyninst import DynInst
 from repro.pipeline.frontend import FrontEnd
 from repro.pipeline.issue_queue import IssueQueue
@@ -55,14 +62,26 @@ _FP_COMPLEX_OPS = frozenset({OpClass.FP_MULT, OpClass.FP_DIV, OpClass.FP_SQRT})
 
 # Hoisted hot-loop constants: domain name strings (compared against
 # ``DynInst.exec_domain`` every wake-up check) and the issue-order sort key.
+_FRONT_END_DOMAIN = Domain.FRONT_END.value
 _INTEGER_DOMAIN = Domain.INTEGER.value
 _FLOATING_POINT_DOMAIN = Domain.FLOATING_POINT.value
 _LOAD_STORE_DOMAIN = Domain.LOAD_STORE.value
 _SEQ_KEY = attrgetter("seq")
 
+#: Shared empty result for wake-up scans of an empty queue.
+_NO_READY: tuple = ()
+
 #: Main-loop iterations without a commit after which the simulator assumes a
 #: modelling bug rather than spinning forever.
 _DEADLOCK_LIMIT = 2_000_000
+
+#: Upper bounds on the fast-path bookkeeping: retired DynInst records kept
+#: for recycling between quiescent points (matching the front end's pool
+#: capacity — keeping more would never be reused), and consecutive quiescent
+#: stretches one fast-forward invocation may chain (a backstop against a
+#: modelling bug looping forever inside the fast-forward).
+_RETIRED_KEEP_LIMIT = 512
+_MAX_FF_STRETCHES = 1024
 
 
 class MCDProcessor:
@@ -90,13 +109,28 @@ class MCDProcessor:
         Enable the quiescent-phase fast-forward: when the pipeline is
         completely drained and fetch is stalled (branch redirect or I-cache
         miss in flight), idle clock edges are batch-consumed instead of being
-        walked one main-loop iteration at a time.  Bit-identical by
-        construction — the skipped edges provably perform no work beyond
+        walked one main-loop iteration at a time — and when fetch comes up
+        empty again at the resume edge (an I-cache miss streak), the next
+        quiescent stretch is skipped in the same invocation.  Bit-identical
+        by construction — the skipped edges provably perform no work beyond
         stall/occupancy accounting, which is applied in bulk — and therefore
         on by default; the flag exists so tests can compare both paths.
         Valid under clock jitter too: the jitter offset stream is
         index-addressable, so bulk-skipped edges land exactly where
         one-at-a-time advances would have.
+    horizon_scheduling:
+        Enable event-horizon edge scheduling: an execution-domain clock edge
+        that provably has no work (empty issue queue, or a load/store queue
+        with nothing left to issue) is bulk-skipped together with every
+        following idle edge of that domain up to the next front-end edge —
+        the earliest instant new work can reach the domain, since issue-queue
+        arrivals and LSQ allocations originate only from front-end dispatch.
+        The per-cycle zero-occupancy samples the skipped edges would have
+        taken are applied in bulk, so this is bit-identical too (and, like
+        the fast-forward, jitter-correct); disabled automatically while a
+        reconfiguration event is pending so events keep firing at exactly
+        the edge they would have fired at.  On by default; the flag exists
+        so tests can compare both paths.
     """
 
     def __init__(
@@ -109,6 +143,7 @@ class MCDProcessor:
         jitter_fraction: float = 0.0,
         sync_window_fraction: float = DEFAULT_WINDOW_FRACTION,
         fast_forward: bool = True,
+        horizon_scheduling: bool = True,
     ) -> None:
         if phase_adaptive and not spec.is_adaptive:
             raise ValueError("phase-adaptive control requires an adaptive MCD spec")
@@ -126,7 +161,33 @@ class MCDProcessor:
             )
             for domain in Domain
         }
-        self._clock_by_name = {domain.value: clock for domain, clock in self.clocks.items()}
+        self._clock_by_name = {
+            domain.value: clock for domain, clock in self.clocks.items()
+        }
+        # Direct references for the hot per-cycle paths: the clock objects
+        # are created once and never replaced (frequency changes mutate them
+        # in place), so these stay valid for the processor's lifetime.
+        self._fe_clock = self.clocks[Domain.FRONT_END]
+        self._int_clock = self.clocks[Domain.INTEGER]
+        self._fp_clock = self.clocks[Domain.FLOATING_POINT]
+        self._ls_clock = self.clocks[Domain.LOAD_STORE]
+        # Wake-up synchronisation windows by (consumer, producer) domain,
+        # rebuilt whenever any domain's period changes (see _wake_windows).
+        self._wake_window_periods: tuple[Picoseconds, ...] | None = None
+        self._wake_window_table: dict[str, dict[str, int]] = {}
+        # Epoch stamp for memoised per-instruction wake-up times: advanced on
+        # every wake-window rebuild, so a frequency change invalidates every
+        # cached ``DynInst.wake_time`` at once.
+        self._wake_epoch = 0
+        # Per-queue idle horizons fed by _ready_entries: the earliest time at
+        # which a non-empty queue can possibly issue (0 = unknown / disabled).
+        self._scan_idle_until: Picoseconds = 0
+        self._int_idle_until: Picoseconds = 0
+        self._fp_idle_until: Picoseconds = 0
+        # Scratch list reused by every wake-up scan (one per execution-domain
+        # edge; the scans never overlap, and each caller consumes the result
+        # before the next scan runs), sparing the allocator and the GC.
+        self._ready_scratch: list[DynInst] = []
         self.sync = SynchronizationModel(
             enabled=spec.inter_domain_sync, window_fraction=sync_window_fraction
         )
@@ -139,6 +200,13 @@ class MCDProcessor:
         )
 
         params = self.params
+        # Pipeline widths, hoisted out of the per-cycle paths (machine
+        # parameters are fixed for the processor's lifetime; only cache ways,
+        # queue capacities and frequencies adapt at run time).
+        self._issue_width = params.issue_width
+        self._decode_width = params.decode_width
+        self._retire_width = params.retire_width
+        self._cache_ports = params.cache_ports
         self.memory = MainMemory(
             first_chunk_ns=params.memory_first_chunk_ns,
             subsequent_chunk_ns=params.memory_subsequent_chunk_ns,
@@ -164,7 +232,12 @@ class MCDProcessor:
         )
 
         self.frontend: FrontEnd | None = None
-        self._last_writer: dict[str, DynInst] = {}
+        # Rename map keyed by dense register index (0..63).
+        self._last_writer: dict[int, DynInst] = {}
+        # Committed DynInst records awaiting recycling into the front end's
+        # pool; handed over at quiescent points, when nothing in flight can
+        # still read them (bounded — see _RETIRED_KEEP_LIMIT).
+        self._retired: list[DynInst] = []
         self._pending_events: list[tuple[Picoseconds, Callable[[], None]]] = []
         self._changes_in_progress: set[Domain] = set()
         self._last_commit_time: Picoseconds = 0
@@ -179,12 +252,21 @@ class MCDProcessor:
         self._interval_start_time: dict[str, Picoseconds] = {}
         self._last_interval_duration: Picoseconds = 0
 
-        # Quiescent-phase fast-forward (see the constructor docstring).
+        # Quiescent-phase fast-forward and event-horizon edge scheduling
+        # (see the constructor docstring).  The counters are observational
+        # only — excluded from result digests — and reset together with the
+        # warm-up reset so they describe the measured window.
         self._fast_forward_enabled = fast_forward
+        self._horizon_enabled = horizon_scheduling
         #: Number of times the fast-forward batch-consumed at least one edge.
         self.fast_forward_invocations = 0
         #: Total clock edges consumed in bulk across all domains.
         self.fast_forward_cycles = 0
+        #: Quiescent stretches consumed by the fast-forward (several per
+        #: invocation when an I-cache miss streak chains stalls).
+        self.steady_stretches_skipped = 0
+        #: Idle execution-domain edges bulk-skipped by horizon scheduling.
+        self.horizon_skipped_edges = 0
 
     # ------------------------------------------------------------------ run
 
@@ -202,15 +284,19 @@ class MCDProcessor:
         caches and branch predictor with no timing effects, so that the
         measured window starts from a warm memory hierarchy (the stand-in for
         the paper's 100 M-instruction fast-forward windows).
+
+        *trace* may be anything the front end accepts: a plain iterable of
+        instructions, or a pre-compiled trace (``CompiledTrace`` /
+        ``ReplayableTrace``), in which case the flat columns are shared
+        across every run in the process.
         """
         if max_instructions <= 0:
             raise ValueError("max_instructions must be positive")
-        trace_iter = iter(trace)
         physical_icache = (
             ADAPTIVE_ICACHE_CONFIGS[-1].icache if self.spec.is_adaptive else None
         )
         self.frontend = FrontEnd(
-            trace_iter,
+            trace,
             icache_config=self.spec.icache,
             physical_geometry=physical_icache,
             fetch_width=self.params.fetch_width,
@@ -230,27 +316,58 @@ class MCDProcessor:
     # ------------------------------------------------------------ internals
 
     def _warm_up(self, count: int) -> None:
+        # Stream the warm-up window straight out of the compiled columns:
+        # same accesses as warming per-instruction objects (I-cache once per
+        # block, predictor/BTB per branch, data hierarchy per memory op), but
+        # with no Instruction materialisation at all.
         frontend = self.frontend
         assert frontend is not None
+        trace = frontend.trace
+        start = frontend.cursor
+        end = min(trace.ensure(start + count), start + count)
         ls_period = self.clocks[Domain.LOAD_STORE].period_ps
-        take_instruction = frontend.take_instruction
-        warm = frontend.warm
+        icache = frontend.icache
+        icache_access = icache.access
+        block_bytes = icache.geometry.block_bytes
+        predict = frontend.predictor.predict_and_update
+        btb_update = frontend.btb.update
         access_data = self.hierarchy.access_data
-        for _ in range(count):
-            instruction = take_instruction()
-            if instruction is None:
-                break
-            warm(instruction)
-            if instruction.is_memory_op and instruction.address is not None:
+        pc_col = trace.pc
+        flags_col = trace.flags
+        addr_col = trace.address
+        target_col = trace.target
+        last_block = None
+        for index in range(start, end):
+            pc = pc_col[index]
+            block = pc // block_bytes
+            if block != last_block:
+                icache_access(pc)
+                last_block = block
+            bits = flags_col[index]
+            if bits & FLAG_BRANCH:
+                taken = bool(bits & FLAG_TAKEN)
+                predict(pc, taken)
+                if taken:
+                    btb_update(pc, target_col[index])
+            if bits & FLAG_MEMORY:
                 access_data(
-                    instruction.address,
-                    is_store=instruction.is_store,
+                    addr_col[index],
+                    is_store=bool(bits & FLAG_STORE),
                     now_ps=0,
                     period_ps=ls_period,
                 )
+        frontend.advance_cursor(end - start)
         frontend.reset_warm_state()
         self.hierarchy.reset_statistics()
         self.memory.reset()
+        self._reset_fast_path_counters()
+
+    def _reset_fast_path_counters(self) -> None:
+        """Zero the fast-path observability counters (with the warm-up reset)."""
+        self.fast_forward_invocations = 0
+        self.fast_forward_cycles = 0
+        self.steady_stretches_skipped = 0
+        self.horizon_skipped_edges = 0
 
     def _build_controllers(self) -> None:
         frontend = self.frontend
@@ -335,30 +452,114 @@ class MCDProcessor:
         frontend = self.frontend
         assert frontend is not None
         rob = self.rob
-        fetch_queue = frontend.fetch_queue
-        clocks = self.clocks
         # Hot bindings: the loop body runs once per clock edge across the
         # whole run, so every attribute lookup it avoids matters.  The edge
         # selection is an explicit four-way compare (ties resolve in Domain
         # declaration order, exactly as ``min(Domain, key=...)`` did).
-        fe_clock = clocks[Domain.FRONT_END]
-        int_clock = clocks[Domain.INTEGER]
-        fp_clock = clocks[Domain.FLOATING_POINT]
-        ls_clock = clocks[Domain.LOAD_STORE]
+        # The ROB and fetch-queue containers are mutated only in place, so
+        # binding them once keeps the quiescence check to two truth tests.
+        rob_entries = rob._entries
+        fq_entries = frontend.fetch_queue._entries
+        fe_clock = self._fe_clock
+        int_clock = self._int_clock
+        fp_clock = self._fp_clock
+        ls_clock = self._ls_clock
         fe_cycle = self._front_end_cycle
         int_cycle = self._integer_cycle
         fp_cycle = self._floating_point_cycle
         ls_cycle = self._load_store_cycle
         fast_forward = self._fast_forward_enabled
+        horizon_scheduling = self._horizon_enabled
         try_fast_forward = self._try_fast_forward
+        int_queue = self.int_queue
+        fp_queue = self.fp_queue
+        lsq = self.lsq
+        retired = self._retired
+        # Jitter never changes mid-run, so on jitter-free machines the
+        # per-edge ``clock.advance()`` call reduces to its two attribute
+        # updates, inlined below.
+        jitter_free = not (
+            fe_clock.jitter_fraction
+            or int_clock.jitter_fraction
+            or fp_clock.jitter_fraction
+            or ls_clock.jitter_fraction
+        )
         idle_iterations = 0
         last_committed = 0
         while rob.total_committed < max_instructions:
-            if rob.is_empty() and fetch_queue.occupancy == 0:
+            if not rob_entries and not fq_entries:
+                # Quiescent point: nothing is in flight anywhere, so the
+                # committed records collected since the last drain can no
+                # longer be read as producers — recycle them into the fetch
+                # pool.
+                if retired:
+                    frontend.recycle(retired)
+                    retired.clear()
                 if frontend.trace_exhausted:
                     break
                 if fast_forward:
                     try_fast_forward(fe_clock, int_clock, fp_clock, ls_clock)
+
+            if horizon_scheduling and not self._pending_events:
+                # Event-horizon edge scheduling: every execution-domain edge
+                # strictly before the next front-end edge is provably a no-op
+                # while the domain holds no work — issue-queue arrivals and
+                # LSQ allocations originate only from front-end dispatch, and
+                # a memory op awaiting address generation keeps
+                # ``lsq.unissued`` non-zero — so each idle domain's pending
+                # edges are bulk-skipped together.  Skipping runs at the top
+                # of the iteration, before an edge is selected and processed,
+                # so it never consumes edges past the run's final cycle; the
+                # per-cycle zero-occupancy samples the skipped edges would
+                # have taken are applied in bulk, and pending events disable
+                # skipping so reconfigurations keep firing at exactly the
+                # edge they would have.
+                fe_next = fe_clock.next_edge
+                skipped = 0
+                if int_clock.next_edge < fe_next and not int_queue._incoming:
+                    if not int_queue._entries:
+                        count = int_clock.skip_edges_before(fe_next)
+                        int_queue.occupancy_samples += count
+                        skipped = count
+                    else:
+                        # Occupied-queue horizon: the last wake-up scan proved
+                        # every entry sleeps until _int_idle_until (producer
+                        # completions are final and new entries arrive only
+                        # via _incoming, which is empty), so edges strictly
+                        # before min(idle, fe_next) sample occupancy and do
+                        # nothing else.
+                        bound = self._int_idle_until
+                        if bound > int_clock.next_edge:
+                            if bound > fe_next:
+                                bound = fe_next
+                            count = int_clock.skip_edges_before(bound)
+                            if count:
+                                int_queue.occupancy_samples += count
+                                int_queue.occupancy_accumulator += count * len(
+                                    int_queue._entries
+                                )
+                                skipped = count
+                if fp_clock.next_edge < fe_next and not fp_queue._incoming:
+                    if not fp_queue._entries:
+                        count = fp_clock.skip_edges_before(fe_next)
+                        fp_queue.occupancy_samples += count
+                        skipped += count
+                    else:
+                        bound = self._fp_idle_until
+                        if bound > fp_clock.next_edge:
+                            if bound > fe_next:
+                                bound = fe_next
+                            count = fp_clock.skip_edges_before(bound)
+                            if count:
+                                fp_queue.occupancy_samples += count
+                                fp_queue.occupancy_accumulator += count * len(
+                                    fp_queue._entries
+                                )
+                                skipped += count
+                if ls_clock.next_edge < fe_next and lsq.unissued == 0:
+                    skipped += ls_clock.skip_edges_before(fe_next)
+                if skipped:
+                    self.horizon_skipped_edges += skipped
 
             edge = fe_clock.next_edge
             clock = fe_clock
@@ -382,7 +583,11 @@ class MCDProcessor:
             if self._pending_events:
                 self._process_pending_events(edge)
             cycle(edge)
-            clock.advance()
+            if jitter_free:
+                clock.cycle_count += 1
+                clock.next_edge = edge + clock.period_ps
+            else:
+                clock.advance()
 
             committed = rob.total_committed
             if committed == last_committed:
@@ -423,82 +628,171 @@ class MCDProcessor:
         reconfiguration bypasses the fast-forward entirely: while the
         controllers are mid-change the conservative path keeps the event and
         frequency sequencing trivially identical.
+
+        When no reconfiguration event is pending, one invocation chains
+        across *multiple* quiescent stretches: after skipping to the stall
+        horizon it runs the front end's fetch at the resume edge itself (the
+        commit and dispatch halves of that front-end cycle are provably
+        no-ops while the ROB and fetch queue are empty).  If fetch comes up
+        empty and stalls again — an I-cache miss streak walking through the
+        L2 — the next stretch is skipped immediately, without surfacing to
+        the main loop between stretches.
         """
         frontend = self.frontend
         assert frontend is not None
         if self._changes_in_progress or frontend.waiting_for_branch is not None:
             return
-        horizon = fe_clock.edge_at_or_after(frontend.stall_until)
-        if self._pending_events:
-            earliest = min(event[0] for event in self._pending_events)
-            if earliest < horizon:
-                horizon = earliest
+        int_queue = self.int_queue
+        fp_queue = self.fp_queue
+        total_skipped = 0
+        stretches = 0
+        while True:
+            horizon = fe_clock.edge_at_or_after(frontend.stall_until)
+            # Any pending event disables chaining: the event must be fired by
+            # the main loop at the first processed edge at or after its time,
+            # which the chained fetch below would bypass.
+            chain = not self._pending_events
+            if not chain:
+                earliest = min(event[0] for event in self._pending_events)
+                if earliest < horizon:
+                    horizon = earliest
 
-        skipped = 0
-        # skip_edges_before consumes the edges strictly before the horizon —
-        # on a jittered clock by walking the index-addressable offset stream
-        # once, landing exactly where per-edge advances would have.
-        count = fe_clock.skip_edges_before(horizon)
-        if count:
-            frontend.stats.fetch_stall_cycles += count
-            skipped += count
-        for clock, queue in ((int_clock, self.int_queue), (fp_clock, self.fp_queue)):
-            count = clock.skip_edges_before(horizon)
+            skipped = 0
+            # skip_edges_before consumes the edges strictly before the
+            # horizon — on a jittered clock by walking the index-addressable
+            # offset stream once, landing exactly where per-edge advances
+            # would have.
+            count = fe_clock.skip_edges_before(horizon)
             if count:
-                # The per-cycle occupancy sample of an empty queue, in bulk.
-                queue.occupancy_samples += count
+                frontend.stats.fetch_stall_cycles += count
                 skipped += count
-        skipped += ls_clock.skip_edges_before(horizon)
+            for clock, queue in ((int_clock, int_queue), (fp_clock, fp_queue)):
+                count = clock.skip_edges_before(horizon)
+                if count:
+                    # The per-cycle occupancy sample of an empty queue, in bulk.
+                    queue.occupancy_samples += count
+                    skipped += count
+            skipped += ls_clock.skip_edges_before(horizon)
+            if skipped:
+                stretches += 1
+                total_skipped += skipped
 
-        if skipped:
+            if not chain or not skipped or stretches >= _MAX_FF_STRETCHES:
+                break
+            if fe_clock.next_edge != horizon:
+                break
+            # The resume edge is now the globally earliest edge (every other
+            # domain was skipped up to the horizon; the front end wins ties),
+            # so run its front-end cycle here: commit and dispatch are no-ops
+            # with the ROB and fetch queue empty, leaving just fetch.
+            fetched = frontend.fetch_cycle(horizon, fe_clock.period_ps)
+            fe_clock.advance()
+            if fetched or frontend.trace_exhausted:
+                break
+            if frontend.stall_until <= horizon:
+                # Fetch made no progress yet recorded no new stall; bail out
+                # to the main loop rather than risk spinning here (the
+                # deadlock guard lives there).
+                break
+
+        if total_skipped:
             self.fast_forward_invocations += 1
-            self.fast_forward_cycles += skipped
+            self.fast_forward_cycles += total_skipped
+            self.steady_stretches_skipped += stretches
 
     def _process_pending_events(self, now: Picoseconds) -> None:
         due = [event for event in self._pending_events if event[0] <= now]
         if not due:
             return
-        self._pending_events = [event for event in self._pending_events if event[0] > now]
+        self._pending_events = [
+            event for event in self._pending_events if event[0] > now
+        ]
         for _, action in sorted(due, key=lambda event: event[0]):
             action()
+        # Domain frequencies change only inside pending-event actions (the
+        # reconfiguration ``finish`` closures), so the wake-window table is
+        # invalidated eagerly here and its per-call validity check reduces
+        # to one ``is None`` test (see :meth:`_wake_windows`).  The per-queue
+        # idle horizons were computed under the old windows, so they fall
+        # with the table.
+        self._wake_window_periods = None
+        self._int_idle_until = 0
+        self._fp_idle_until = 0
 
     # ------------------------------------------------------------ front end
 
     def _front_end_cycle(self, now: Picoseconds) -> None:
+        fe_clock = self._fe_clock
+        self._commit(now, fe_clock)
+        self._dispatch(now, fe_clock)
+        # Stalled fetch cycles (unresolved branch, I-cache refill) only bump
+        # a counter; the checks are inlined here so the common stalled cycle
+        # skips the fetch_cycle call entirely.  fetch_cycle performs the
+        # same checks itself for its other callers (the fast-forward chain).
         frontend = self.frontend
-        assert frontend is not None
-        clock = self.clocks[Domain.FRONT_END]
-        period = clock.period_ps
-
-        self._commit(now, clock)
-        self._dispatch(now, clock)
-        frontend.fetch_cycle(now, period)
+        if frontend._waiting_branch is not None:
+            frontend.stats.branch_stall_cycles += 1
+        elif now < frontend._stall_until:
+            frontend.stats.fetch_stall_cycles += 1
+        else:
+            frontend.fetch_cycle(now, fe_clock.period_ps)
 
     def _commit(self, now: Picoseconds, fe_clock: DomainClock) -> None:
+        # Cheap early-out before any further binding: most front-end cycles
+        # commit nothing (empty ROB, or a head still executing).
         rob = self.rob
+        entries = rob._entries
+        if not entries or entries[0].completion_time is None:
+            return
         clock_by_name = self._clock_by_name
-        transfer = self.sync.transfer
+        sync = self.sync
+        # Disabled synchronisation makes transfer the identity (and records
+        # nothing), so the call is skipped outright on synchronous machines.
+        sync_enabled = sync.enabled
+        sync_stats = sync.stats
+        windows_fe = self._wake_windows(_FRONT_END_DOMAIN) if sync_enabled else None
         last_writer = self._last_writer
         phase_adaptive = self.phase_adaptive
+        retired = self._retired
         committed = 0
-        retire_width = self.params.retire_width
+        retire_width = self._retire_width
         while committed < retire_width:
-            head = rob.head
-            if head is None or head.completion_time is None:
+            if not entries:
                 break
-            ready_time = head.completion_time or 0
-            producer_clock = clock_by_name.get(head.exec_domain)
+            head = entries[0]
+            completion = head.completion_time
+            if completion is None:
+                break
+            producer_clock = (
+                clock_by_name.get(head.exec_domain) if sync_enabled else None
+            )
             if producer_clock is not None and producer_clock is not fe_clock:
-                ready_time = transfer(ready_time, producer_clock, fe_clock)
-            if ready_time > now:
+                # Inline ``sync.transfer(completion, producer, fe_clock)``:
+                # the commit check runs at ``now == fe_clock.next_edge``, so
+                # for a completed head the capture edge clamps to *now* and
+                # the synchroniser outcome reduces to the precomputed window
+                # compare (see :meth:`_wake_windows`); only a head completing
+                # in the future needs the true capture edge, and then solely
+                # for the penalty statistic — it cannot commit this cycle
+                # either way.  Statistics recording is identical to the call.
+                window = windows_fe[head.exec_domain]
+                sync_stats.transfers += 1
+                if completion > now:
+                    if fe_clock.edge_at_or_after(completion) - completion < window:
+                        sync_stats.penalties += 1
+                    break
+                if now - completion < window:
+                    sync_stats.penalties += 1
+                    break
+            elif completion > now:
                 break
             rob.commit_head()
             head.commit_time = now
             committed += 1
             self._last_commit_time = now
-            dest = head.instruction.dest
-            if dest is not None:
-                if is_fp_register(dest):
+            dest = head.dest
+            if dest >= 0:
+                if dest >= FP_BASE_INDEX:
                     self.fp_regs.release()
                 else:
                     self.int_regs.release()
@@ -506,63 +800,90 @@ class MCDProcessor:
                     del last_writer[dest]
             if head.is_memory_op:
                 self.lsq.release(head)
+            if len(retired) < _RETIRED_KEEP_LIMIT:
+                retired.append(head)
             if phase_adaptive:
                 self._on_commit(now)
 
     def _dispatch(self, now: Picoseconds, fe_clock: DomainClock) -> None:
         frontend = self.frontend
-        assert frontend is not None
         fetch_queue = frontend.fetch_queue
+        # Cheap early-out (same container binding as the main loop): nothing
+        # decoded and ready means nothing to dispatch this cycle.
+        fq_entries = fetch_queue._entries
+        if not fq_entries or fq_entries[0].dispatch_ready_time > now:
+            return
         rob = self.rob
+        rob_entries = rob._entries
+        rob_capacity = rob._capacity
         lsq = self.lsq
         last_writer = self._last_writer
         last_writer_get = last_writer.get
-        transfer = self.sync.transfer
-        int_clock = self.clocks[Domain.INTEGER]
-        fp_clock = self.clocks[Domain.FLOATING_POINT]
+        sync = self.sync
+        sync_enabled = sync.enabled
+        sync_stats = sync.stats
+        int_clock = self._int_clock
+        fp_clock = self._fp_clock
         feed_controllers = self.phase_adaptive and self.control.adapt_queues
         dispatched = 0
-        decode_width = self.params.decode_width
+        decode_width = self._decode_width
         while dispatched < decode_width:
-            inst = fetch_queue.peek()
+            inst = fq_entries[0] if fq_entries else None
             if inst is None or inst.dispatch_ready_time > now:
                 break
-            if not rob.has_space:
+            # Structural-hazard checks, inlined from the respective
+            # ``has_space`` / ``can_allocate`` properties.
+            if len(rob_entries) >= rob_capacity:
                 break
-            instruction = inst.instruction
-            dest = instruction.dest
+            dest = inst.dest
             regfile = None
-            if dest is not None:
-                regfile = self.fp_regs if is_fp_register(dest) else self.int_regs
-                if not regfile.can_allocate():
+            if dest >= 0:
+                regfile = self.fp_regs if dest >= FP_BASE_INDEX else self.int_regs
+                if regfile._total <= regfile._allocated:
                     break
             is_fp_op = inst.is_fp
             queue = self.fp_queue if is_fp_op else self.int_queue
-            if not queue.has_space:
+            if len(queue._entries) + len(queue._incoming) >= queue._capacity:
                 break
             is_memory_op = inst.is_memory_op
-            if is_memory_op and not lsq.has_space:
+            if is_memory_op and len(lsq._entries) >= lsq._capacity:
                 break
 
             fetch_queue.pop()
-            inst.producers = tuple(
-                last_writer_get(source) for source in instruction.sources
-            )
-            if dest is not None and regfile is not None:
+            source_count = inst.source_count
+            if source_count == 0:
+                inst.producers = ()
+            elif source_count == 1:
+                inst.producers = (last_writer_get(inst.src0),)
+            else:
+                inst.producers = (
+                    last_writer_get(inst.src0),
+                    last_writer_get(inst.src1),
+                )
+            if regfile is not None:
                 regfile.allocate()
                 last_writer[dest] = inst
             rob.dispatch(inst)
             if is_memory_op:
                 lsq.allocate(inst)
             inst.dispatch_time = now
-            arrival = transfer(
-                now, fe_clock, fp_clock if is_fp_op else int_clock, fifo=True
-            )
+            if sync_enabled:
+                # Inline ``sync.transfer(now, fe_clock, queue_clock,
+                # fifo=True)``: dispatch runs while the front-end edge *now*
+                # is the globally earliest unconsumed edge, so the consumer's
+                # capture edge ``edge_at_or_after(now)`` clamps to its
+                # ``next_edge``, and a FIFO crossing never pays the extra
+                # arbitration cycle — the call reduces to one attribute read
+                # plus the transfer count it would have recorded.
+                sync_stats.transfers += 1
+                arrival = (fp_clock if is_fp_op else int_clock).next_edge
+            else:
+                arrival = now
             queue.dispatch(inst, arrival)
             dispatched += 1
 
             if feed_controllers:
-                self._feed_queue_controllers(instruction, now)
+                self._feed_queue_controllers(inst, now)
 
     # --------------------------------------------------------- exec domains
 
@@ -584,55 +905,136 @@ class MCDProcessor:
                 return False
         return True
 
+    def _wake_windows(self, domain_name: str) -> dict[str, int]:
+        """Wake-up addends per producer domain for consumer *domain_name*.
+
+        The wake-up check always runs at ``now == consumer.next_edge`` (the
+        edge being processed), where the synchronised readiness test
+        ``transfer(completion, producer, consumer, record=False) <= now``
+        reduces *exactly* to ``completion + window <= now`` with ``window =
+        int(window_fraction * min(producer_period, consumer_period))``:
+
+        - ``completion > now``: the consumer capture edge is a future edge,
+          so the value is not ready — and ``completion + window > now`` too.
+        - ``completion <= now``: ``edge_at_or_after`` clamps to the current
+          edge, so the value is ready unless that edge falls inside the
+          unsafe window after *completion* (``now - completion < window``),
+          i.e. ready iff ``completion + window <= now``.
+
+        This turns the per-producer synchronisation call in the wake-up scan
+        into one integer add.  Windows are 0 within a domain and on the
+        fully synchronous machine (transfers are free there).  Domain
+        frequencies change only inside pending-event actions, and the event
+        pump invalidates the table eagerly after running any (see
+        :meth:`_process_pending_events`), so the per-call validity check is
+        a single ``is None`` test; every rebuild advances ``_wake_epoch``,
+        invalidating the memoised per-instruction wake-up times with it.
+        """
+        if self._wake_window_periods is None:
+            clock_by_name = self._clock_by_name
+            fraction = self.sync.window_fraction if self.sync.enabled else 0.0
+            self._wake_window_table = {
+                consumer: {
+                    producer: (
+                        int(fraction * min(pclock.period_ps, cclock.period_ps))
+                        if pclock is not cclock
+                        else 0
+                    )
+                    for producer, pclock in clock_by_name.items()
+                }
+                for consumer, cclock in clock_by_name.items()
+            }
+            self._wake_window_periods = (
+                self._fe_clock.period_ps,
+                self._int_clock.period_ps,
+                self._fp_clock.period_ps,
+                self._ls_clock.period_ps,
+            )
+            self._wake_epoch += 1
+        return self._wake_window_table[domain_name]
+
     def _ready_entries(
-        self, queue: IssueQueue, now: Picoseconds, domain_name: str, clock: DomainClock
-    ) -> list[DynInst]:
+        self, queue: IssueQueue, now: Picoseconds, domain_name: str
+    ) -> Sequence[DynInst]:
         """Operand-ready queue entries, oldest first.
+
+        The returned sequence is a reused scratch buffer, valid only until
+        the next scan; callers consume it immediately.
 
         Inline equivalent of ``queue.ready_entries(now, operand_ready)``: the
         wake-up check runs for every queue entry every cycle, so the
         per-entry callback indirection of :meth:`_operand_ready` is flattened
-        into one loop with hoisted bindings.
+        into one loop, and the cross-domain synchronisation call is reduced
+        to its precomputed window addend (see :meth:`_wake_windows`).
         """
         entries = queue.pending_entries()
         if not entries:
-            return []
-        clock_by_name = self._clock_by_name
-        transfer = self.sync.transfer
-        ready: list[DynInst] = []
+            return _NO_READY
+        windows = self._wake_windows(domain_name)
+        # Read the epoch only after _wake_windows, which advances it when a
+        # frequency change invalidates the windows (and with them every
+        # memoised wake time).
+        epoch = self._wake_epoch
+        ready = self._ready_scratch
+        ready.clear()
+        # Side output for the event-horizon scheduler: when nothing is ready
+        # and every entry's wake-up time is known, the earliest of them bounds
+        # the next edge at which this queue can possibly issue.
+        min_wake = 0
+        all_known = True
         for inst in entries:
+            if inst.wake_epoch == epoch:
+                # Memoised: every producer's completion is final once set,
+                # so the wake-up time computed on a previous scan holds for
+                # as long as the windows do.
+                wake = inst.wake_time
+                if wake <= now:
+                    ready.append(inst)
+                elif min_wake == 0 or wake < min_wake:
+                    min_wake = wake
+                continue
+            wake = 0
             for producer in inst.producers:
                 if producer is None:
                     continue
                 completion = producer.completion_time
                 if completion is None:
+                    all_known = False
                     break
-                if producer.exec_domain != domain_name:
-                    producer_clock = clock_by_name.get(producer.exec_domain)
-                    if producer_clock is not None:
-                        completion = transfer(
-                            completion, producer_clock, clock, record=False
-                        )
-                if completion > now:
-                    break
+                exec_domain = producer.exec_domain
+                if exec_domain != domain_name:
+                    completion += windows[exec_domain]
+                if completion > wake:
+                    wake = completion
             else:
-                ready.append(inst)
+                inst.wake_time = wake
+                inst.wake_epoch = epoch
+                if wake <= now:
+                    ready.append(inst)
+                elif min_wake == 0 or wake < min_wake:
+                    min_wake = wake
+        if ready or not all_known:
+            self._scan_idle_until = 0
+        else:
+            self._scan_idle_until = min_wake
         ready.sort(key=_SEQ_KEY)
         return ready
 
     def _integer_cycle(self, now: Picoseconds) -> None:
-        clock = self.clocks[Domain.INTEGER]
-        period = clock.period_ps
         queue = self.int_queue
-        queue.admit_arrivals(now)
-        units = self.int_units
-        units.begin_cycle(now)
-        ready = self._ready_entries(queue, now, _INTEGER_DOMAIN, clock)
-        if ready:
-            issue_width = self.params.issue_width
+        if queue._incoming:
+            queue.admit_arrivals(now)
+        if queue._entries:
+            clock = self._int_clock
+            period = clock.period_ps
+            units = self.int_units
+            units.begin_cycle(now)
+            ready = self._ready_entries(queue, now, _INTEGER_DOMAIN)
+            self._int_idle_until = self._scan_idle_until
+            issue_width = self._issue_width
             execution_latency = EXECUTION_LATENCY
-            transfer = self.sync.transfer
-            ls_clock = self.clocks[Domain.LOAD_STORE]
+            sync = self.sync
+            sync_enabled = sync.enabled
             issued = 0
             for inst in ready:
                 if issued >= issue_width:
@@ -647,25 +1049,39 @@ class MCDProcessor:
                 if inst.is_memory_op:
                     agen = now + period
                     inst.agen_time = agen
-                    inst.lsq_arrival_time = transfer(agen, clock, ls_clock, fifo=True)
+                    if sync_enabled:
+                        # Inline ``sync.transfer(agen, clock, ls_clock,
+                        # fifo=True)``: a FIFO crossing pays only the edge
+                        # alignment (never the arbitration cycle), so the
+                        # call is the capture-edge lookup plus the transfer
+                        # count it would have recorded.
+                        sync.stats.transfers += 1
+                        inst.lsq_arrival_time = self._ls_clock.edge_at_or_after(
+                            agen
+                        )
+                    else:
+                        inst.lsq_arrival_time = agen
                 else:
                     completion = now + latency_ps
                     inst.completion_time = completion
                     inst.exec_domain = _INTEGER_DOMAIN
                     if inst.mispredicted:
                         self._schedule_branch_redirect(inst, completion, clock)
-        queue.sample_occupancy()
+        # Inline occupancy sample (one per processed edge, as always).
+        queue.occupancy_samples += 1
+        queue.occupancy_accumulator += len(queue._entries) + len(queue._incoming)
 
     def _floating_point_cycle(self, now: Picoseconds) -> None:
-        clock = self.clocks[Domain.FLOATING_POINT]
-        period = clock.period_ps
         queue = self.fp_queue
-        queue.admit_arrivals(now)
-        units = self.fp_units
-        units.begin_cycle(now)
-        ready = self._ready_entries(queue, now, _FLOATING_POINT_DOMAIN, clock)
-        if ready:
-            issue_width = self.params.issue_width
+        if queue._incoming:
+            queue.admit_arrivals(now)
+        if queue._entries:
+            period = self._fp_clock.period_ps
+            units = self.fp_units
+            units.begin_cycle(now)
+            ready = self._ready_entries(queue, now, _FLOATING_POINT_DOMAIN)
+            self._fp_idle_until = self._scan_idle_until
+            issue_width = self._issue_width
             execution_latency = EXECUTION_LATENCY
             issued = 0
             for inst in ready:
@@ -680,23 +1096,25 @@ class MCDProcessor:
                 issued += 1
                 inst.completion_time = now + latency_ps
                 inst.exec_domain = _FLOATING_POINT_DOMAIN
-        queue.sample_occupancy()
+        queue.occupancy_samples += 1
+        queue.occupancy_accumulator += len(queue._entries) + len(queue._incoming)
 
     def _load_store_cycle(self, now: Picoseconds) -> None:
         lsq = self.lsq
-        entries = lsq.pending_entries()
-        if not entries:
+        if lsq.unissued == 0:
+            # Every occupant has issued already (or the queue is empty):
+            # the scan below would be a pure no-op.
             return
-        clock = self.clocks[Domain.LOAD_STORE]
+        clock = self._ls_clock
         period = clock.period_ps
-        cache_ports = self.params.cache_ports
+        cache_ports = self._cache_ports
         access_data = self.hierarchy.access_data
         lsq_stats = lsq.stats
         performed = 0
-        # Iterate a snapshot: performing an access never mutates the LSQ
-        # entry list (entries leave only at commit), so the copy exists only
-        # to stay robust against future mutation, mirroring occupants().
-        for inst in tuple(entries):
+        # Performing an access never mutates the LSQ entry list (entries
+        # leave only at commit), so the program-ordered list is iterated
+        # directly.
+        for inst in lsq.pending_entries():
             if performed >= cache_ports:
                 break
             if inst.memory_issued:
@@ -704,7 +1122,6 @@ class MCDProcessor:
             arrival = inst.lsq_arrival_time
             if arrival is None or arrival > now:
                 continue
-            address = inst.instruction.address or 0
             if inst.is_load:
                 older_store = lsq.pending_older_store(inst)
                 if older_store is not None:
@@ -714,24 +1131,27 @@ class MCDProcessor:
                     inst.completion_time = now + period
                     inst.exec_domain = _LOAD_STORE_DOMAIN
                     inst.memory_issued = True
+                    lsq.unissued -= 1
                     lsq_stats.loads_forwarded += 1
                     performed += 1
                     continue
                 result = access_data(
-                    address, is_store=False, now_ps=now, period_ps=period
+                    inst.address, is_store=False, now_ps=now, period_ps=period
                 )
                 inst.completion_time = result.completion_ps
                 inst.exec_domain = _LOAD_STORE_DOMAIN
                 inst.memory_issued = True
+                lsq.unissued -= 1
                 lsq_stats.loads_performed += 1
                 performed += 1
             else:
                 result = access_data(
-                    address, is_store=True, now_ps=now, period_ps=period
+                    inst.address, is_store=True, now_ps=now, period_ps=period
                 )
                 inst.completion_time = result.completion_ps
                 inst.exec_domain = _LOAD_STORE_DOMAIN
                 inst.memory_issued = True
+                lsq.unissued -= 1
                 lsq_stats.stores_performed += 1
                 performed += 1
 
@@ -750,11 +1170,13 @@ class MCDProcessor:
         assert frontend is not None
         fe_clock = self.clocks[Domain.FRONT_END]
         extra_int = max(
-            0, self.spec.mispredict_integer_cycles - self._MODELLED_REFILL_INTEGER_CYCLES
+            0,
+            self.spec.mispredict_integer_cycles - self._MODELLED_REFILL_INTEGER_CYCLES,
         )
         extra_fe = max(
             0,
-            self.spec.mispredict_front_end_cycles - self._MODELLED_REFILL_FRONT_END_CYCLES,
+            self.spec.mispredict_front_end_cycles
+            - self._MODELLED_REFILL_FRONT_END_CYCLES,
         )
         resolved = completion + extra_int * int_clock.period_ps
         redirect = self.sync.transfer(resolved, int_clock, fe_clock)
@@ -773,11 +1195,17 @@ class MCDProcessor:
 
     # ------------------------------------------------------------ adaptation
 
-    def _feed_queue_controllers(self, instruction: Instruction, now: Picoseconds) -> None:
-        dest = instruction.dest
-        dest_index = register_index(dest) if dest is not None else None
-        source_indices = tuple(register_index(source) for source in instruction.sources)
-        is_fp_op = uses_fp_queue(instruction.op)
+    def _feed_queue_controllers(self, inst: DynInst, now: Picoseconds) -> None:
+        dest = inst.dest
+        dest_index = dest if dest >= 0 else None
+        source_count = inst.source_count
+        if source_count == 0:
+            source_indices: tuple[int, ...] = ()
+        elif source_count == 1:
+            source_indices = (inst.src0,)
+        else:
+            source_indices = (inst.src0, inst.src1)
+        is_fp_op = inst.is_fp
         for controller, domain, queue in (
             (self._int_queue_controller, Domain.INTEGER, self.int_queue),
             (self._fp_queue_controller, Domain.FLOATING_POINT, self.fp_queue),
@@ -788,7 +1216,9 @@ class MCDProcessor:
             if controller.observe(dest_index, source_indices, tracked=tracked):
                 decision = controller.evaluate()
                 if decision.changed and domain not in self._changes_in_progress:
-                    self._apply_queue_change(controller, domain, queue, decision.best_size, now)
+                    self._apply_queue_change(
+                        controller, domain, queue, decision.best_size, now
+                    )
 
     def _on_commit(self, now: Picoseconds) -> None:
         for controller, structure in (
@@ -953,10 +1383,12 @@ class MCDProcessor:
             committed_instructions=self.rob.total_committed,
             execution_time_ps=self._last_commit_time,
             domain_cycles={
-                domain.value: clock.cycle_count for domain, clock in self.clocks.items()
+                domain.value: clock.cycle_count
+                for domain, clock in self.clocks.items()
             },
             final_frequencies_ghz={
-                domain.value: clock.frequency_ghz for domain, clock in self.clocks.items()
+                domain.value: clock.frequency_ghz
+                for domain, clock in self.clocks.items()
             },
             branch_predictions=frontend.stats.branches,
             branch_mispredictions=frontend.stats.mispredictions,
@@ -1017,5 +1449,10 @@ class MCDProcessor:
                 "fp_queue": fp_queue_entries,
             },
             predictor_size_kb=self._predictor_size_kb(spec.icache.predictor),
+            fast_forward_invocations=self.fast_forward_invocations,
+            fast_forward_cycles=self.fast_forward_cycles,
+            steady_stretches_skipped=self.steady_stretches_skipped,
+            horizon_skipped_edges=self.horizon_skipped_edges,
+            compiled_trace_cache_hits=frontend.compiled_trace_cache_hits,
         )
         return result

@@ -43,7 +43,7 @@ DEFAULT_TRACE_SEED = 1234
 #: caches from older code are invalidated.  Machine-configuration changes
 #: (timing tables, spec fields) need no bump: the fingerprint hashes the
 #: fully resolved :class:`MachineSpec`, so those invalidate automatically.
-FINGERPRINT_VERSION = 4  # v4: energy-accounting activity counters in RunResult
+FINGERPRINT_VERSION = 5  # v5: fast-path observability counters in RunResult
 
 
 def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:

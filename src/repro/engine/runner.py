@@ -25,9 +25,12 @@ def run_job(job: SimulationJob) -> RunResult:
         jitter_fraction=job.jitter_fraction,
         sync_window_fraction=job.resolved_sync_window_fraction(),
     )
+    # The trace object itself (not an iterator) so the processor fetches from
+    # its compiled flat-column form, built once per (profile, seed) per
+    # process and shared by every job on the same cached trace.
     trace = make_trace(job.profile, seed=job.trace_seed)
     return processor.run(
-        trace.instructions(),
+        trace,
         max_instructions=job.resolved_window(),
         warmup_instructions=job.resolved_warmup(),
         workload_name=job.profile.name,

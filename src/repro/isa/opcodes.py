@@ -79,6 +79,38 @@ IS_FLOATING_POINT: dict[OpClass, bool] = {op: op in _FP_CLASSES for op in OpClas
 IS_MEMORY: dict[OpClass, bool] = {op: op in _MEMORY_CLASSES for op in OpClass}
 USES_FP_QUEUE: dict[OpClass, bool] = dict(IS_FLOATING_POINT)
 
+# ---------------------------------------------------------------- flat encoding
+#
+# The compiled-trace fast path (:mod:`repro.workloads.trace_cache`) stores
+# instruction streams as flat array columns instead of object lists.  Opcodes
+# are encoded as dense ids, and the per-opclass predicates above are folded
+# into one flag bitmask per instruction so the pipeline decodes a dynamic
+# instruction with two integer reads.
+
+#: Dense id -> OpClass decode table (declaration order).
+OPCLASSES: tuple[OpClass, ...] = tuple(OpClass)
+#: OpClass -> dense id encode table.
+OPCODE_ID: dict[OpClass, int] = {op: index for index, op in enumerate(OPCLASSES)}
+
+#: Per-instruction flag bits.  ``FLAG_BRANCH``/``FLAG_TAKEN`` are dynamic
+#: (an ``Instruction`` may be flagged a branch regardless of opclass, and the
+#: outcome is per instance); the rest derive from the opclass alone.
+FLAG_BRANCH = 0x01
+FLAG_TAKEN = 0x02
+FLAG_MEMORY = 0x04
+FLAG_LOAD = 0x08
+FLAG_STORE = 0x10
+FLAG_FP = 0x20
+
+#: Static flag bits of each opcode id (everything except branch/taken).
+OPCLASS_FLAGS: tuple[int, ...] = tuple(
+    (FLAG_MEMORY if IS_MEMORY[op] else 0)
+    | (FLAG_LOAD if op is OpClass.LOAD else 0)
+    | (FLAG_STORE if op is OpClass.STORE else 0)
+    | (FLAG_FP if IS_FLOATING_POINT[op] else 0)
+    for op in OPCLASSES
+)
+
 
 def is_integer(op: OpClass) -> bool:
     """Return True if *op* executes on the integer domain's units."""

@@ -67,3 +67,23 @@ def register_index(name: RegisterName) -> int:
 
 #: Total number of logical registers tracked by rename / ILP hardware.
 TOTAL_LOGICAL_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Sentinel index for "no register" in the flat trace encoding (stores,
+#: branches and nops have no destination; nops have no sources).
+NO_REGISTER = -1
+
+#: First index of the floating-point half of the combined register space.
+FP_BASE_INDEX = NUM_INT_REGS
+
+#: Dense index -> name decode table (inverse of :func:`register_index`).
+REGISTER_NAMES: tuple[RegisterName, ...] = tuple(
+    [f"r{index}" for index in range(NUM_INT_REGS)]
+    + [f"f{index}" for index in range(NUM_FP_REGS)]
+)
+
+
+def register_name(index: int) -> RegisterName:
+    """Return the name of the register with dense *index* (0..63)."""
+    if not 0 <= index < TOTAL_LOGICAL_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return REGISTER_NAMES[index]

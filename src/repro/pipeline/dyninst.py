@@ -2,65 +2,127 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.clocks.time import Picoseconds
 from repro.isa.instruction import Instruction
 from repro.isa.opcodes import IS_FLOATING_POINT, OpClass
+from repro.isa.registers import NO_REGISTER, register_index
 
 
-@dataclass(slots=True)
 class DynInst:
     """One in-flight dynamic instruction.
 
-    A :class:`DynInst` wraps the trace-level
-    :class:`~repro.isa.instruction.Instruction` with the timing state the
-    pipeline needs: when it was fetched, dispatched, issued and completed,
-    which domain produced its result, and which in-flight producers its
-    source operands depend on.
+    A :class:`DynInst` carries the timing state the pipeline needs — when it
+    was fetched, dispatched, issued and completed, which domain produced its
+    result, and which in-flight producers its source operands depend on —
+    together with the decoded instruction fields themselves: program counter,
+    opcode, dense register ids (``NO_REGISTER`` when absent), effective
+    address and branch target.
+
+    On the compiled-trace fast path the fields are populated directly from
+    flat column reads and the instance is recycled through a free list once
+    the machine drains, so no per-instruction objects are allocated at all;
+    the legacy constructor form ``DynInst(instruction=...)`` decodes a trace
+    ``Instruction`` instead and keeps a reference to it.
+
+    Deliberately a plain ``__slots__`` class with *identity* equality: queue
+    entries are unique in-flight objects, and the containers that remove them
+    (:meth:`IssueQueue.remove`, LSQ release) rely on fast identity scans
+    rather than field-by-field comparison.
     """
 
-    instruction: Instruction
-    #: Producers of each source operand that were still in flight at rename
-    #: time (``None`` entries mean the operand was already architecturally
-    #: ready).
-    producers: tuple["DynInst | None", ...] = ()
-    fetch_time: Picoseconds = 0
-    dispatch_ready_time: Picoseconds = 0
-    dispatch_time: Picoseconds | None = None
-    queue_arrival_time: Picoseconds | None = None
-    issue_time: Picoseconds | None = None
-    agen_time: Picoseconds | None = None
-    lsq_arrival_time: Picoseconds | None = None
-    completion_time: Picoseconds | None = None
-    commit_time: Picoseconds | None = None
-    #: Name of the domain whose clock produced ``completion_time``.
-    exec_domain: str = "integer"
-    mispredicted: bool = False
-    squashed: bool = False
-    memory_issued: bool = field(default=False)
+    __slots__ = (
+        "instruction",
+        "producers",
+        "fetch_time",
+        "dispatch_ready_time",
+        "dispatch_time",
+        "queue_arrival_time",
+        "issue_time",
+        "agen_time",
+        "lsq_arrival_time",
+        "completion_time",
+        "commit_time",
+        "exec_domain",
+        "mispredicted",
+        "squashed",
+        "memory_issued",
+        # Memoised operand wake-up time (see MCDProcessor._ready_entries):
+        # valid only while ``wake_epoch`` matches the processor's current
+        # wake-window epoch, which advances on any domain frequency change.
+        "wake_time",
+        "wake_epoch",
+        # Decoded instruction fields (column reads on the fast path).
+        "seq",
+        "op",
+        "is_branch",
+        "is_memory_op",
+        "is_load",
+        "is_store",
+        "is_fp",
+        "pc",
+        "dest",
+        "src0",
+        "src1",
+        "source_count",
+        "address",
+        "target",
+    )
 
-    # Cached accessors ------------------------------------------------------
-    # The pipeline touches these several times per cycle per in-flight
-    # instruction, so they are copied out of the wrapped Instruction once at
-    # construction instead of living behind properties.
-    seq: int = field(init=False, repr=False, default=-1)
-    op: OpClass = field(init=False, repr=False, default=OpClass.NOP)
-    is_branch: bool = field(init=False, repr=False, default=False)
-    is_memory_op: bool = field(init=False, repr=False, default=False)
-    is_load: bool = field(init=False, repr=False, default=False)
-    is_store: bool = field(init=False, repr=False, default=False)
-    is_fp: bool = field(init=False, repr=False, default=False)
-
-    def __post_init__(self) -> None:
-        instruction = self.instruction
-        self.seq = instruction.seq
-        self.op = instruction.op
-        self.is_branch = instruction.is_branch
-        self.is_memory_op = instruction.is_memory_op
-        self.is_load = instruction.is_load
-        self.is_store = instruction.is_store
-        self.is_fp = IS_FLOATING_POINT[instruction.op]
+    def __init__(self, instruction: Instruction | None = None) -> None:
+        self.instruction = instruction
+        #: Producers of each source operand that were still in flight at
+        #: rename time (``None`` entries mean the operand was already
+        #: architecturally ready).
+        self.producers: tuple[DynInst | None, ...] = ()
+        self.fetch_time: Picoseconds = 0
+        self.dispatch_ready_time: Picoseconds = 0
+        self.dispatch_time: Picoseconds | None = None
+        self.queue_arrival_time: Picoseconds | None = None
+        self.issue_time: Picoseconds | None = None
+        self.agen_time: Picoseconds | None = None
+        self.lsq_arrival_time: Picoseconds | None = None
+        self.completion_time: Picoseconds | None = None
+        self.commit_time: Picoseconds | None = None
+        #: Name of the domain whose clock produced ``completion_time``.
+        self.exec_domain: str = "integer"
+        self.mispredicted = False
+        self.squashed = False
+        self.memory_issued = False
+        self.wake_time: Picoseconds = 0
+        self.wake_epoch = -1
+        if instruction is not None:
+            self.seq = instruction.seq
+            self.op = instruction.op
+            self.is_branch = instruction.is_branch
+            self.is_memory_op = instruction.is_memory_op
+            self.is_load = instruction.is_load
+            self.is_store = instruction.is_store
+            self.is_fp = IS_FLOATING_POINT[instruction.op]
+            self.pc = instruction.pc
+            dest = instruction.dest
+            self.dest = NO_REGISTER if dest is None else register_index(dest)
+            sources = instruction.sources
+            count = len(sources)
+            self.src0 = register_index(sources[0]) if count else NO_REGISTER
+            self.src1 = register_index(sources[1]) if count > 1 else NO_REGISTER
+            self.source_count = count
+            self.address = instruction.address if instruction.address is not None else 0
+            self.target = instruction.target if instruction.target is not None else 0
+        else:
+            self.seq = -1
+            self.op = OpClass.NOP
+            self.is_branch = False
+            self.is_memory_op = False
+            self.is_load = False
+            self.is_store = False
+            self.is_fp = False
+            self.pc = 0
+            self.dest = NO_REGISTER
+            self.src0 = NO_REGISTER
+            self.src1 = NO_REGISTER
+            self.source_count = 0
+            self.address = 0
+            self.target = 0
 
     @property
     def completed(self) -> bool:
@@ -70,4 +132,12 @@ class DynInst:
     def describe(self) -> str:
         """Readable one-line rendering for debugging."""
         state = "completed" if self.completed else "in-flight"
-        return f"[{self.seq}] {self.instruction.describe()} ({state})"
+        rendering = (
+            self.instruction.describe()
+            if self.instruction is not None
+            else f"{self.op.value}@{self.pc:#x}"
+        )
+        return f"[{self.seq}] {rendering} ({state})"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<DynInst {self.describe()}>"

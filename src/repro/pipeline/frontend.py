@@ -7,13 +7,23 @@ order, so there is no wrong-path fetch; a mispredicted branch instead stalls
 fetch until the processor reports that the branch has resolved and the
 configured misprediction penalty has elapsed (the standard trace-driven
 modelling of branch mispredictions).
+
+Fetch consumes the trace through its *compiled* flat-column form
+(:class:`~repro.workloads.trace_cache.CompiledTrace`): the fetch loop reads
+parallel ``array`` columns by cursor index and populates pooled
+:class:`~repro.pipeline.dyninst.DynInst` records, so the per-instruction hot
+path performs no object construction and no attribute chasing through
+``Instruction``.  Caller-supplied iterators are wrapped into a compiled
+trace that keeps the original ``Instruction`` objects, which preserves
+object identity for legacy consumers (warm-up, tests) while sharing the one
+fetch implementation.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.branch.btb import BranchTargetBuffer
 from repro.branch.hybrid import HybridPredictor, build_predictor
@@ -22,8 +32,23 @@ from repro.caches.cache import AccessOutcome
 from repro.clocks.time import Picoseconds
 from repro.timing.cacti import CacheGeometry
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    FLAG_BRANCH,
+    FLAG_FP,
+    FLAG_LOAD,
+    FLAG_MEMORY,
+    FLAG_STORE,
+    FLAG_TAKEN,
+    OPCLASSES,
+)
+from repro.isa.registers import NO_REGISTER
 from repro.pipeline.dyninst import DynInst
 from repro.timing.tables import ICacheConfig
+from repro.workloads.trace_cache import CompiledTrace
+
+#: Upper bound on the DynInst free list (enough to cover ROB + queues with
+#: slack; beyond this, retired records are simply dropped to the GC).
+_POOL_CAPACITY = 512
 
 
 @dataclass(slots=True)
@@ -90,8 +115,12 @@ class FrontEnd:
     Parameters
     ----------
     trace:
-        Iterator of :class:`~repro.isa.instruction.Instruction` in program
-        order.
+        The instruction stream in program order: a
+        :class:`~repro.workloads.trace_cache.CompiledTrace`, an object
+        exposing a ``compiled`` attribute (e.g.
+        :class:`~repro.workloads.trace_cache.ReplayableTrace`), or any
+        iterable/iterator of :class:`~repro.isa.instruction.Instruction`
+        (compiled on the fly, originals retained).
     icache_config:
         The active I-cache / branch-predictor configuration.
     fetch_width:
@@ -109,7 +138,7 @@ class FrontEnd:
 
     def __init__(
         self,
-        trace: Iterator[Instruction],
+        trace: CompiledTrace | Iterable[Instruction] | Iterator[Instruction],
         *,
         icache_config: ICacheConfig,
         physical_geometry: CacheGeometry | None = None,
@@ -119,9 +148,22 @@ class FrontEnd:
         use_b_partition: bool = True,
         icache_miss_handler: Callable[[int, Picoseconds], Picoseconds] | None = None,
     ) -> None:
-        self._trace = trace
-        self._pending: Instruction | None = None
-        self._exhausted = False
+        if isinstance(trace, CompiledTrace):
+            compiled = trace
+        else:
+            candidate = getattr(trace, "compiled", None)
+            if isinstance(candidate, CompiledTrace):
+                compiled = candidate
+            else:
+                compiled = CompiledTrace(iter(trace), keep_objects=True)
+        self._trace = compiled
+        self._cursor = 0
+        #: Rows already compiled before this run started — fetches below this
+        #: watermark are compiled-trace cache hits (columns built by an
+        #: earlier run in the same process).
+        self._premat = compiled.length
+        self._measured_from = 0
+        self._pool: list[DynInst] = []
         self.fetch_width = fetch_width
         self.decode_cycles = decode_cycles
         self.fetch_queue = FetchQueue(fetch_queue_capacity)
@@ -149,9 +191,19 @@ class FrontEnd:
     # ------------------------------------------------------------------ API
 
     @property
+    def trace(self) -> CompiledTrace:
+        """The compiled trace fetch reads from (for bulk warm-up)."""
+        return self._trace
+
+    @property
+    def cursor(self) -> int:
+        """Index of the next instruction to fetch."""
+        return self._cursor
+
+    @property
     def trace_exhausted(self) -> bool:
-        """True once the trace iterator has been fully consumed."""
-        return self._exhausted and self._pending is None
+        """True once the trace has been fully consumed."""
+        return self._trace.exhausted and self._cursor >= self._trace.length
 
     @property
     def waiting_for_branch(self) -> DynInst | None:
@@ -162,6 +214,11 @@ class FrontEnd:
     def stall_until(self) -> Picoseconds:
         """Time before which fetch is stalled (redirect or I-cache refill)."""
         return self._stall_until
+
+    @property
+    def compiled_trace_cache_hits(self) -> int:
+        """Measured-run fetches served from pre-compiled trace columns."""
+        return max(0, min(self._cursor, self._premat) - self._measured_from)
 
     def apply_icache_config(self, config: ICacheConfig, *, use_b_partition: bool) -> None:
         """Repartition the I-cache for *config* (contents are preserved)."""
@@ -178,7 +235,15 @@ class FrontEnd:
 
     def take_instruction(self) -> Instruction | None:
         """Consume and return the next trace instruction (used for warm-up)."""
-        return self._next_instruction()
+        cursor = self._cursor
+        if self._trace.ensure(cursor + 1) <= cursor:
+            return None
+        self._cursor = cursor + 1
+        return self._trace.instruction_at(cursor)
+
+    def advance_cursor(self, count: int) -> None:
+        """Skip *count* instructions (bulk warm-up reads columns directly)."""
+        self._cursor += count
 
     def warm(self, instruction: Instruction) -> None:
         """Warm the I-cache and branch predictor without timing effects."""
@@ -196,6 +261,7 @@ class FrontEnd:
     def reset_warm_state(self) -> None:
         """Clear warmup bookkeeping and statistics before a measured run."""
         self._last_block = None
+        self._measured_from = self._cursor
         self.icache.reset_interval()
         self.icache.stats.accesses = 0
         self.icache.stats.hits = 0
@@ -206,23 +272,33 @@ class FrontEnd:
         self.predictor.stats.predictions = 0
         self.predictor.stats.mispredictions = 0
 
+    def recycle(self, insts: Iterable[DynInst]) -> None:
+        """Return retired DynInst records to the fetch pool.
+
+        Only safe once no in-flight instruction can still read them (the
+        processor calls this at quiescent points: ROB and fetch queue empty).
+        """
+        pool = self._pool
+        for inst in insts:
+            if len(pool) >= _POOL_CAPACITY:
+                break
+            inst.instruction = None
+            inst.producers = ()
+            inst.dispatch_time = None
+            inst.queue_arrival_time = None
+            inst.issue_time = None
+            inst.agen_time = None
+            inst.lsq_arrival_time = None
+            inst.completion_time = None
+            inst.commit_time = None
+            inst.exec_domain = "integer"
+            inst.mispredicted = False
+            inst.squashed = False
+            inst.memory_issued = False
+            inst.wake_epoch = -1
+            pool.append(inst)
+
     # ------------------------------------------------------------ fetch step
-
-    def _next_instruction(self) -> Instruction | None:
-        if self._pending is not None:
-            inst = self._pending
-            self._pending = None
-            return inst
-        if self._exhausted:
-            return None
-        try:
-            return next(self._trace)
-        except StopIteration:
-            self._exhausted = True
-            return None
-
-    def _push_back(self, instruction: Instruction) -> None:
-        self._pending = instruction
 
     def fetch_cycle(self, now: Picoseconds, period_ps: Picoseconds) -> list[DynInst]:
         """Fetch up to ``fetch_width`` instructions at front-end edge *now*."""
@@ -237,53 +313,92 @@ class FrontEnd:
         fetched: list[DynInst] = []
         fetch_queue = self.fetch_queue
         icache = self.icache
-        next_instruction = self._next_instruction
+        trace = self._trace
+        cursor = self._cursor
+        limit = cursor + self.fetch_width
+        available = trace.ensure(limit)
+        pc_col = trace.pc
+        op_col = trace.op
+        flags_col = trace.flags
+        dest_col = trace.dest
+        src0_col = trace.src0
+        src1_col = trace.src1
+        addr_col = trace.address
+        target_col = trace.target
+        seq_col = trace.seq
+        opclasses = OPCLASSES
+        pool = self._pool
+        predictor = self.predictor
+        btb = self.btb
+        last_block = self._last_block
         block_bytes = icache.geometry.block_bytes
         decode_delay = self.decode_cycles * period_ps
         extra_decode_delay = 0
-        for _ in range(self.fetch_width):
+        while cursor < limit and cursor < available:
             if not fetch_queue.has_space:
                 break
-            instruction = next_instruction()
-            if instruction is None:
-                break
 
-            pc = instruction.pc
+            pc = pc_col[cursor]
             block = pc // block_bytes
-            if block != self._last_block:
+            if block != last_block:
                 outcome = icache.access(pc)
                 stats.icache_accesses += 1
-                self._last_block = block
+                last_block = block
                 if outcome is AccessOutcome.HIT_B:
                     # The fetch pipeline keeps running; instructions from this
                     # block simply become available to dispatch B-latency
                     # cycles later.
                     stats.icache_b_hits += 1
                     extra_decode_delay = (self.icache_config.l1_latency[1] or 0) * period_ps
-                if outcome is AccessOutcome.MISS:
+                elif outcome is AccessOutcome.MISS:
                     stats.icache_misses += 1
                     if self._icache_miss_handler is not None:
                         ready = self._icache_miss_handler(pc, now)
                     else:
                         ready = now + 20 * period_ps
                     self._stall_until = max(ready, now + period_ps)
-                    self._push_back(instruction)
+                    # The cursor does not advance: the same instruction is
+                    # refetched after the refill (hitting the now-warm block,
+                    # as ``last_block`` already points at it).
                     break
 
-            dyninst = DynInst(instruction=instruction)
+            bits = flags_col[cursor]
+            dyninst = pool.pop() if pool else DynInst()
+            dyninst.seq = seq_col[cursor]
+            dyninst.op = opclasses[op_col[cursor]]
+            dyninst.is_branch = is_branch = bool(bits & FLAG_BRANCH)
+            dyninst.is_memory_op = bool(bits & FLAG_MEMORY)
+            dyninst.is_load = bool(bits & FLAG_LOAD)
+            dyninst.is_store = bool(bits & FLAG_STORE)
+            dyninst.is_fp = bool(bits & FLAG_FP)
+            dyninst.pc = pc
+            dyninst.dest = dest_col[cursor]
+            src0 = src0_col[cursor]
+            src1 = src1_col[cursor]
+            dyninst.src0 = src0
+            dyninst.src1 = src1
+            if src1 != NO_REGISTER:
+                dyninst.source_count = 2
+            elif src0 != NO_REGISTER:
+                dyninst.source_count = 1
+            else:
+                dyninst.source_count = 0
+            dyninst.address = addr_col[cursor]
+            dyninst.target = target_col[cursor]
             dyninst.fetch_time = now
             dyninst.dispatch_ready_time = now + decode_delay + extra_decode_delay
             fetch_queue.push(dyninst)
             fetched.append(dyninst)
             stats.fetched += 1
+            cursor += 1
 
-            if instruction.is_branch:
+            if is_branch:
                 stats.branches += 1
-                taken = instruction.taken
-                correct = self.predictor.predict_and_update(pc, taken)
-                predicted_target = self.btb.lookup(pc)
+                taken = bool(bits & FLAG_TAKEN)
+                correct = predictor.predict_and_update(pc, taken)
+                predicted_target = btb.lookup(pc)
                 if taken:
-                    self.btb.update(pc, instruction.target or 0)
+                    btb.update(pc, dyninst.target)
                 if not correct:
                     dyninst.mispredicted = True
                     stats.mispredictions += 1
@@ -296,6 +411,8 @@ class FrontEnd:
                         stats.btb_misses += 1
                         self._stall_until = now + period_ps
                     # Cannot fetch past a taken branch in the same cycle.
-                    self._last_block = None
+                    last_block = None
                     break
+        self._cursor = cursor
+        self._last_block = last_block
         return fetched

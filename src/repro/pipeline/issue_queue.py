@@ -64,7 +64,7 @@ class IssueQueue:
         inst.queue_arrival_time = arrival_time
         self._incoming.append(inst)
         self.total_dispatched += 1
-        self.operand_reads += len(inst.instruction.sources)
+        self.operand_reads += inst.source_count
 
     def admit_arrivals(self, now: Picoseconds) -> None:
         """Move instructions whose synchronised arrival time has passed."""

@@ -39,6 +39,12 @@ class LoadStoreQueue:
         # Program-ordered list of memory operations currently occupying slots.
         self._entries: list[DynInst] = []
         self.stats = LSQStats()
+        # Occupants whose cache access has not been issued yet.  Maintained
+        # by allocate/release/squash here and decremented by the processor at
+        # the point it marks an entry ``memory_issued``; lets the load/store
+        # cycle (and horizon scheduling) skip edges with nothing to issue
+        # without scanning the queue.
+        self.unissued = 0
 
     # ------------------------------------------------------------------ API
 
@@ -63,36 +69,39 @@ class LoadStoreQueue:
             raise RuntimeError("allocation into a full load/store queue")
         self._entries.append(inst)
         self.stats.allocations += 1
+        self.unissued += 1
 
     def release(self, inst: DynInst) -> None:
         """Free the slot at commit time."""
         try:
             self._entries.remove(inst)
         except ValueError:
-            pass
+            return
+        if not inst.memory_issued:
+            self.unissued -= 1
 
     def pending_older_store(self, load: DynInst) -> DynInst | None:
         """Return an older, not-yet-performed store to the same double word."""
-        load_dword = (load.instruction.address or 0) & _DWORD_MASK
+        load_dword = load.address & _DWORD_MASK
         for entry in self._entries:
             if entry.seq >= load.seq:
                 break
             if not entry.is_store or entry.completed:
                 continue
-            if ((entry.instruction.address or 0) & _DWORD_MASK) == load_dword:
+            if (entry.address & _DWORD_MASK) == load_dword:
                 return entry
         return None
 
     def forwardable_store(self, load: DynInst, now: Picoseconds) -> DynInst | None:
         """Return an older, completed store to the same double word, if any."""
-        load_dword = (load.instruction.address or 0) & _DWORD_MASK
+        load_dword = load.address & _DWORD_MASK
         match: DynInst | None = None
         for entry in self._entries:
             if entry.seq >= load.seq:
                 break
             if not entry.is_store:
                 continue
-            if ((entry.instruction.address or 0) & _DWORD_MASK) != load_dword:
+            if (entry.address & _DWORD_MASK) != load_dword:
                 continue
             if entry.completed and (entry.completion_time or 0) <= now:
                 match = entry
@@ -110,9 +119,11 @@ class LoadStoreQueue:
         """Remove entries matching *predicate*; return how many were removed."""
         before = len(self._entries)
         self._entries = [inst for inst in self._entries if not predicate(inst)]
+        self.unissued = sum(1 for inst in self._entries if not inst.memory_issued)
         return before - len(self._entries)
 
     def reset(self) -> None:
         """Empty the queue (used between runs)."""
         self._entries.clear()
         self.stats = LSQStats()
+        self.unissued = 0

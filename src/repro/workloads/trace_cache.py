@@ -21,10 +21,20 @@ from __future__ import annotations
 import json
 import os
 import warnings
+from array import array
 from collections import OrderedDict
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.isa.instruction import Instruction
+from repro.isa.opcodes import (
+    FLAG_BRANCH,
+    FLAG_MEMORY,
+    FLAG_TAKEN,
+    OPCLASS_FLAGS,
+    OPCLASSES,
+    OPCODE_ID,
+)
+from repro.isa.registers import NO_REGISTER, REGISTER_NAMES, register_index
 from repro.workloads.characteristics import DOC_ONLY_FIELDS, WorkloadProfile
 from repro.workloads.generator import SyntheticTraceGenerator
 
@@ -67,6 +77,160 @@ def _cache_limit() -> int:
         return DEFAULT_CACHE_TRACES
 
 
+class CompiledTrace:
+    """Flat structure-of-arrays compilation of one instruction stream.
+
+    Each instruction becomes one row across parallel ``array`` columns:
+    program counter, dense opcode id, opclass/branch flag bitmask, register
+    ids (destination and up to two sources, ``NO_REGISTER`` when absent —
+    the source ids carry the stream's dependence structure), effective
+    memory address, branch target and sequence number.  The front end
+    fetches by column index instead of materialising per-instruction
+    objects, which removes object construction and attribute chasing from
+    the per-fetch hot path entirely.
+
+    Columns grow lazily as :meth:`ensure` pulls from the source stream, so
+    an infinite generator compiles incrementally exactly as far as a run
+    consumes it.  With ``keep_objects=True`` the source ``Instruction``
+    objects are retained and served back verbatim by :meth:`instruction_at`
+    (used when wrapping caller-supplied iterators, preserving object
+    identity for legacy consumers); otherwise :meth:`instruction_at`
+    reconstructs an equal ``Instruction`` from the columns on demand.
+    """
+
+    __slots__ = (
+        "pc",
+        "op",
+        "flags",
+        "dest",
+        "src0",
+        "src1",
+        "address",
+        "target",
+        "seq",
+        "_iterator",
+        "_objects",
+        "_exhausted",
+    )
+
+    def __init__(
+        self,
+        instructions: Iterable[Instruction] | Iterator[Instruction],
+        *,
+        keep_objects: bool = False,
+    ) -> None:
+        self.pc = array("Q")
+        self.op = array("B")
+        self.flags = array("B")
+        self.dest = array("b")
+        self.src0 = array("b")
+        self.src1 = array("b")
+        self.address = array("Q")
+        self.target = array("Q")
+        self.seq = array("q")
+        self._iterator = iter(instructions)
+        self._objects: list[Instruction] | None = [] if keep_objects else None
+        self._exhausted = False
+
+    @property
+    def length(self) -> int:
+        """Number of instructions compiled into the columns so far."""
+        return len(self.seq)
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the source stream has ended (never, for generators)."""
+        return self._exhausted
+
+    def ensure(self, count: int) -> int:
+        """Compile the stream up to *count* rows; return the available length."""
+        seq = self.seq
+        length = len(seq)
+        if length >= count or self._exhausted:
+            return length
+        pc = self.pc
+        op = self.op
+        flags = self.flags
+        dest = self.dest
+        src0 = self.src0
+        src1 = self.src1
+        address = self.address
+        target = self.target
+        iterator = self._iterator
+        objects = self._objects
+        opcode_id = OPCODE_ID
+        opclass_flags = OPCLASS_FLAGS
+        reg_index = register_index
+        while length < count:
+            inst = next(iterator, None)
+            if inst is None:
+                self._exhausted = True
+                break
+            sources = inst.sources
+            if len(sources) > 2:
+                raise ValueError(
+                    "compiled traces encode at most two source operands, got "
+                    f"{sources!r}"
+                )
+            oid = opcode_id[inst.op]
+            bits = opclass_flags[oid]
+            if inst.is_branch:
+                bits |= FLAG_BRANCH
+                if inst.taken:
+                    bits |= FLAG_TAKEN
+            pc.append(inst.pc)
+            op.append(oid)
+            flags.append(bits)
+            d = inst.dest
+            dest.append(NO_REGISTER if d is None else reg_index(d))
+            n = len(sources)
+            src0.append(reg_index(sources[0]) if n else NO_REGISTER)
+            src1.append(reg_index(sources[1]) if n > 1 else NO_REGISTER)
+            address.append(inst.address if inst.address is not None else 0)
+            target.append(inst.target if inst.target is not None else 0)
+            seq.append(inst.seq)
+            if objects is not None:
+                objects.append(inst)
+            length += 1
+        return length
+
+    def instruction_at(self, index: int) -> Instruction:
+        """The ``Instruction`` at *index* (original object or column rebuild)."""
+        objects = self._objects
+        if objects is not None:
+            return objects[index]
+        bits = self.flags[index]
+        d = self.dest[index]
+        s0 = self.src0[index]
+        if s0 == NO_REGISTER:
+            sources: tuple[str, ...] = ()
+        else:
+            s1 = self.src1[index]
+            if s1 == NO_REGISTER:
+                sources = (REGISTER_NAMES[s0],)
+            else:
+                sources = (REGISTER_NAMES[s0], REGISTER_NAMES[s1])
+        is_branch = bool(bits & FLAG_BRANCH)
+        return Instruction(
+            pc=self.pc[index],
+            op=OPCLASSES[self.op[index]],
+            sources=sources,
+            dest=None if d == NO_REGISTER else REGISTER_NAMES[d],
+            address=self.address[index] if bits & FLAG_MEMORY else None,
+            is_branch=is_branch,
+            taken=bool(bits & FLAG_TAKEN),
+            target=self.target[index] if is_branch else None,
+            seq=self.seq[index],
+        )
+
+
+def _generator_stream(generator: SyntheticTraceGenerator) -> Iterator[Instruction]:
+    """Adapt a (never-ending) synthetic generator to the iterator protocol."""
+    next_instruction = generator._next_instruction
+    while True:
+        yield next_instruction()
+
+
 class ReplayableTrace:
     """A lazily materialised, replayable view of one generator's stream.
 
@@ -82,7 +246,14 @@ class ReplayableTrace:
     be on a shared generator.
     """
 
-    __slots__ = ("profile", "seed", "_generator", "_materialised", "_generate_cursor")
+    __slots__ = (
+        "profile",
+        "seed",
+        "_generator",
+        "_materialised",
+        "_generate_cursor",
+        "_compiled",
+    )
 
     def __init__(self, profile: WorkloadProfile, *, seed: int) -> None:
         self.profile = profile
@@ -90,6 +261,7 @@ class ReplayableTrace:
         self._generator = SyntheticTraceGenerator(profile, seed=seed)
         self._materialised: list[Instruction] = []
         self._generate_cursor = 0
+        self._compiled: CompiledTrace | None = None
 
     def instructions(self) -> Iterator[Instruction]:
         """Yield the dynamic instruction stream from the beginning, forever."""
@@ -120,6 +292,25 @@ class ReplayableTrace:
     def materialised_length(self) -> int:
         """Number of instructions materialised so far (for tests/diagnostics)."""
         return len(self._materialised)
+
+    @property
+    def compiled(self) -> CompiledTrace:
+        """The flat-column compilation of this trace (built once, shared).
+
+        The compilation replays a fresh deterministic generator for the same
+        ``(profile, seed)`` so the columns are bit-exact regardless of how
+        much of the object stream was materialised, and it is cached on the
+        trace: every simulation job sharing this cached trace reads the same
+        columns, which is what makes the compiled fast path's trace work
+        once-per-process like the object path's.
+        """
+        if self._compiled is None:
+            self._compiled = CompiledTrace(
+                _generator_stream(
+                    SyntheticTraceGenerator(self.profile, seed=self.seed)
+                )
+            )
+        return self._compiled
 
 
 _cache: "OrderedDict[tuple[str, int], ReplayableTrace]" = OrderedDict()

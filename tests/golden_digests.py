@@ -57,6 +57,21 @@ TIMING_DIGEST_FIELDS = (
     "configuration_changes",
 )
 
+#: Observation-only counters describing how a run was *simulated* (compiled
+#: trace columns, horizon scheduling, fast-forward), not what the machine
+#: did.  They vary with the fast-path knobs while the simulated behaviour is
+#: bit-identical, so they are excluded from the energy digest exactly as the
+#: timing fields are (and were never part of the timing digest).
+FAST_PATH_OBSERVABILITY_FIELDS = frozenset(
+    {
+        "fast_forward_invocations",
+        "fast_forward_cycles",
+        "steady_stretches_skipped",
+        "horizon_skipped_edges",
+        "compiled_trace_cache_hits",
+    }
+)
+
 
 def golden_jobs() -> dict[str, SimulationJob]:
     """Small, fast, representative jobs covering the three machine styles."""
@@ -147,7 +162,10 @@ def energy_digest(result) -> str:
     """
     data = result.to_dict()
     activity = {
-        name: value for name, value in data.items() if name not in TIMING_DIGEST_FIELDS
+        name: value
+        for name, value in data.items()
+        if name not in TIMING_DIGEST_FIELDS
+        and name not in FAST_PATH_OBSERVABILITY_FIELDS
     }
     payload = json.dumps(
         {"activity": activity, "energy": energy_report(result).to_dict()},

@@ -8,13 +8,19 @@ reconfiguration in progress) or with jittered clocks.
 
 from __future__ import annotations
 
+import itertools
+
+import pytest
+
 from repro.core.domains import Domain
 from repro.core.processor import MCDProcessor
 from repro.engine import SimulationJob, SpecKind, make_trace, run_job
 from repro.workloads import get_workload
 
 
-def run_with_fast_forward(job: SimulationJob, enabled: bool) -> tuple[MCDProcessor, object]:
+def run_with_fast_path(
+    job: SimulationJob, *, fast_forward: bool = True, horizon: bool = True
+) -> tuple[MCDProcessor, object]:
     processor = MCDProcessor(
         job.build_spec(),
         control=job.resolved_control(),
@@ -22,7 +28,8 @@ def run_with_fast_forward(job: SimulationJob, enabled: bool) -> tuple[MCDProcess
         seed=job.seed,
         jitter_fraction=job.jitter_fraction,
         sync_window_fraction=job.resolved_sync_window_fraction(),
-        fast_forward=enabled,
+        fast_forward=fast_forward,
+        horizon_scheduling=horizon,
     )
     trace = make_trace(job.profile, seed=job.trace_seed)
     result = processor.run(
@@ -32,6 +39,12 @@ def run_with_fast_forward(job: SimulationJob, enabled: bool) -> tuple[MCDProcess
         workload_name=job.profile.name,
     )
     return processor, result
+
+
+def run_with_fast_forward(
+    job: SimulationJob, enabled: bool
+) -> tuple[MCDProcessor, object]:
+    return run_with_fast_path(job, fast_forward=enabled)
 
 
 class TestFastForwardGolden:
@@ -120,12 +133,16 @@ class TestFastForwardGating:
         fe_clock = clocks[0]
         processor.frontend._stall_until = fe_clock.next_edge + 50 * fe_clock.period_ps
         stalls_before = processor.frontend.stats.fetch_stall_cycles
+        # The horizon of the stretch being skipped, computed before the call:
+        # the fast-forward may legitimately chain past it (it runs fetch at
+        # the resume edge and keeps going through an I-cache miss streak).
+        horizon = fe_clock.edge_at_or_after(processor.frontend._stall_until)
 
         processor._try_fast_forward(*clocks)
 
         assert processor.fast_forward_invocations == 1
         assert processor.fast_forward_cycles > 0
-        horizon = fe_clock.edge_at_or_after(processor.frontend._stall_until)
+        assert processor.steady_stretches_skipped >= 1
         for clock in clocks:
             assert clock.next_edge >= horizon
         # Skipped front-end edges are accounted as fetch stalls, as the
@@ -220,6 +237,132 @@ class TestBulkEdgeSkip:
             stepwise.advance()
         assert bulk.next_edge == stepwise.next_edge
         assert bulk.cycle_count == stepwise.cycle_count
+
+
+class TestHorizonScheduling:
+    """Event-horizon edge scheduling is a pure wall-clock optimisation:
+    bit-identical results with it on or off, on every machine style."""
+
+    def adaptive_job(self, **kwargs) -> SimulationJob:
+        return SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.ADAPTIVE,
+            use_b_partitions=False,
+            window=2_000,
+            warmup=1_500,
+            **kwargs,
+        )
+
+    def test_horizon_on_off_identical_jitter_free(self):
+        job = self.adaptive_job()
+        with_processor, with_horizon = run_with_fast_path(job, horizon=True)
+        without_processor, without_horizon = run_with_fast_path(job, horizon=False)
+        # The comparison only means something if edges were actually skipped.
+        assert with_processor.horizon_skipped_edges > 0
+        assert without_processor.horizon_skipped_edges == 0
+        assert with_horizon == without_horizon
+
+    def test_horizon_on_off_identical_jittered(self):
+        job = self.adaptive_job(jitter_fraction=0.05)
+        with_processor, with_horizon = run_with_fast_path(job, horizon=True)
+        _, without_horizon = run_with_fast_path(job, horizon=False)
+        assert with_processor.horizon_skipped_edges > 0
+        assert with_horizon == without_horizon
+
+    def test_horizon_on_off_identical_phase_adaptive(self):
+        job = SimulationJob(
+            profile=get_workload("em3d"),
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=2_000,
+            warmup=1_500,
+        )
+        _, with_horizon = run_with_fast_path(job, horizon=True)
+        _, without_horizon = run_with_fast_path(job, horizon=False)
+        assert with_horizon == without_horizon
+
+    @pytest.mark.parametrize("jitter", [0.0, 0.05])
+    def test_every_fast_path_combination_is_identical(self, jitter):
+        job = SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BASE_ADAPTIVE,
+            use_b_partitions=True,
+            phase_adaptive=True,
+            window=1_500,
+            warmup=1_000,
+            jitter_fraction=jitter,
+        )
+        _, baseline = run_with_fast_path(job, fast_forward=False, horizon=False)
+        for fast_forward, horizon in itertools.product((False, True), repeat=2):
+            _, result = run_with_fast_path(
+                job, fast_forward=fast_forward, horizon=horizon
+            )
+            assert result == baseline, (fast_forward, horizon)
+
+    def test_counters_stay_out_of_result_equality(self):
+        job = self.adaptive_job()
+        _, with_horizon = run_with_fast_path(job, horizon=True)
+        _, without_horizon = run_with_fast_path(job, horizon=False)
+        assert with_horizon.horizon_skipped_edges > 0
+        assert without_horizon.horizon_skipped_edges == 0
+        # Equal despite differing observability counters (compare=False).
+        assert with_horizon == without_horizon
+
+
+class TestCounterHygiene:
+    """Fast-path counters reset with the warm-up reset, so they describe the
+    measured window even if the processor object arrives polluted."""
+
+    def job(self) -> SimulationJob:
+        return SimulationJob(
+            profile=get_workload("gcc"),
+            spec_kind=SpecKind.BEST_SYNCHRONOUS,
+            window=1_500,
+            warmup=1_000,
+        )
+
+    COUNTERS = (
+        "fast_forward_invocations",
+        "fast_forward_cycles",
+        "steady_stretches_skipped",
+        "horizon_skipped_edges",
+    )
+
+    def run_once(self, polluted: bool):
+        job = self.job()
+        processor = MCDProcessor(
+            job.build_spec(),
+            control=job.resolved_control(),
+            seed=job.seed,
+            sync_window_fraction=job.resolved_sync_window_fraction(),
+        )
+        if polluted:
+            for name in self.COUNTERS:
+                setattr(processor, name, 1_000_000)
+        trace = make_trace(job.profile, seed=job.trace_seed)
+        result = processor.run(
+            trace.instructions(),
+            max_instructions=job.resolved_window(),
+            warmup_instructions=job.resolved_warmup(),
+            workload_name=job.profile.name,
+        )
+        return processor, result
+
+    def test_warm_up_reset_erases_pollution(self):
+        _, clean = self.run_once(polluted=False)
+        _, polluted = self.run_once(polluted=True)
+        assert polluted == clean
+        for name in self.COUNTERS:
+            value = getattr(polluted, name)
+            assert value == getattr(clean, name)
+            assert value < 1_000_000
+
+    def test_counters_describe_the_measured_window_only(self):
+        processor, result = self.run_once(polluted=False)
+        assert result.fast_forward_invocations == processor.fast_forward_invocations
+        assert result.fast_forward_cycles == processor.fast_forward_cycles
+        assert result.horizon_skipped_edges == processor.horizon_skipped_edges
 
 
 class TestJitteredFastForward:
