@@ -150,15 +150,19 @@ def render_table4() -> str:
     )
 
 
-def main(argv: object = None) -> int:
-    """CLI entry point; prints Table 4 and returns the exit code."""
+def build_parser() -> "argparse.ArgumentParser":
+    """The ``python -m repro.analysis.hardware_cost`` argument parser."""
     import argparse
 
-    parser = argparse.ArgumentParser(
+    return argparse.ArgumentParser(
         prog="python -m repro.analysis.hardware_cost",
         description="Render the adaptive-control hardware-cost table (Table 4).",
     )
-    parser.parse_args(argv)
+
+
+def main(argv: object = None) -> int:
+    """CLI entry point; prints Table 4 and returns the exit code."""
+    build_parser().parse_args(argv)
     print(render_table4())
     return 0
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, fields
-from typing import Any, Iterable, Mapping
+from typing import Any, ClassVar, Iterable, Mapping
 
 from repro.clocks.time import Picoseconds
 
@@ -115,6 +115,17 @@ class RunResult:
     steady_stretches_skipped: int = field(default=0, compare=False)
     horizon_skipped_edges: int = field(default=0, compare=False)
     compiled_trace_cache_hits: int = field(default=0, compare=False)
+
+    #: Observability fields whose values depend on *per-process* state (the
+    #: trace-compilation cache is warm for the second job on a trace, cold
+    #: for the first) rather than on the job alone.  The result cache resets
+    #: them to their defaults when persisting, so on-disk stores are
+    #: byte-identical however the job list was partitioned across processes
+    #: — the property the distributed fabric's merge/verify workflow rests
+    #: on.
+    PROCESS_DEPENDENT_FIELDS: ClassVar[tuple[str, ...]] = (
+        "compiled_trace_cache_hits",
+    )
 
     # ------------------------------------------------------------ derived
 

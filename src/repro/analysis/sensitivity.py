@@ -457,7 +457,8 @@ def sensitivity_sweep(
 DEFAULT_CLI_WORKLOADS = ("gcc", "em3d", "apsi")
 
 
-def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.analysis.sensitivity`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.sensitivity",
         description="Sweep the timing-uncertainty knobs and report Figure 6 deltas.",
@@ -518,7 +519,11 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
     parser.add_argument(
         "--cache-dir", default=None, help="persistent on-disk result cache directory"
     )
-    return parser.parse_args(argv)
+    return parser
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    return build_parser().parse_args(argv)
 
 
 def _grid(

@@ -72,6 +72,7 @@ __all__ = [
     "best_synchronous_configuration",
     "compare_workload",
     "compare_workloads",
+    "comparison_jobs",
     "default_control_params",
     "default_warmup",
     "evaluate_configuration",
@@ -660,7 +661,7 @@ def compare_workload(
     )[0]
 
 
-def compare_workloads(
+def comparison_jobs(
     profiles: Sequence[WorkloadProfile],
     *,
     baseline_indices: AdaptiveConfigIndices | None = None,
@@ -673,28 +674,18 @@ def compare_workloads(
     jitter_fraction: float = 0.0,
     sync_window_fraction: float | None = None,
     control_overrides: Mapping[str, Any] | None = None,
-    engine: ExperimentEngine | None = None,
-) -> list[WorkloadComparison]:
-    """Run the Figure 6 comparison for every workload in *profiles*.
+) -> list[SimulationJob]:
+    """The statically enumerable jobs of a Figure 6 comparison batch.
 
-    All synchronous baselines, all Program-Adaptive search candidates and all
-    Phase-Adaptive runs — across every workload — are submitted to the engine
-    as one batch, so a parallel executor sees the full sweep at once.  A
-    second, much smaller batch evaluates the factored search's combined
-    winners where they were not already simulated.  Results are identical to
-    calling :func:`compare_workload` per profile.
-
-    The timing-uncertainty knobs (``jitter_fraction``,
-    ``sync_window_fraction``) and the controller overrides apply to the MCD
-    machines only: the fully synchronous baseline runs a single global clock
-    with inter-domain synchronisation disabled, so the paper models it free
-    of inter-domain timing uncertainty.  Improvements under a knob setting
-    are therefore measured against the same baseline row as the jitter-free
-    experiment, which is what the sensitivity driver reports deltas over.
+    For every profile: the synchronous baseline, the Phase-Adaptive run and
+    every Program-Adaptive search candidate, in the exact order
+    :func:`compare_workloads` submits them.  This is the *plannable* part of
+    a campaign — what the distributed fabric shards across workers (see
+    :mod:`repro.engine.fabric`).  The factored search's combined-winner jobs
+    depend on these results and so cannot be enumerated up front; the resume
+    pass simulates that small tail.
     """
-    eng = _resolve_engine(engine)
     candidates = _search_candidates(search_mode, "adaptive")
-
     jobs: list[SimulationJob] = []
     for profile in profiles:
         jobs.append(
@@ -733,6 +724,56 @@ def compare_workloads(
             )
             for indices in candidates
         )
+    return jobs
+
+
+def compare_workloads(
+    profiles: Sequence[WorkloadProfile],
+    *,
+    baseline_indices: AdaptiveConfigIndices | None = None,
+    search_mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+    jitter_fraction: float = 0.0,
+    sync_window_fraction: float | None = None,
+    control_overrides: Mapping[str, Any] | None = None,
+    engine: ExperimentEngine | None = None,
+) -> list[WorkloadComparison]:
+    """Run the Figure 6 comparison for every workload in *profiles*.
+
+    All synchronous baselines, all Program-Adaptive search candidates and all
+    Phase-Adaptive runs — across every workload — are submitted to the engine
+    as one batch, so a parallel executor sees the full sweep at once.  A
+    second, much smaller batch evaluates the factored search's combined
+    winners where they were not already simulated.  Results are identical to
+    calling :func:`compare_workload` per profile.
+
+    The timing-uncertainty knobs (``jitter_fraction``,
+    ``sync_window_fraction``) and the controller overrides apply to the MCD
+    machines only: the fully synchronous baseline runs a single global clock
+    with inter-domain synchronisation disabled, so the paper models it free
+    of inter-domain timing uncertainty.  Improvements under a knob setting
+    are therefore measured against the same baseline row as the jitter-free
+    experiment, which is what the sensitivity driver reports deltas over.
+    """
+    eng = _resolve_engine(engine)
+    candidates = _search_candidates(search_mode, "adaptive")
+    jobs = comparison_jobs(
+        profiles,
+        baseline_indices=baseline_indices,
+        search_mode=search_mode,
+        window=window,
+        warmup=warmup,
+        control=control,
+        trace_seed=trace_seed,
+        seed=seed,
+        jitter_fraction=jitter_fraction,
+        sync_window_fraction=sync_window_fraction,
+        control_overrides=control_overrides,
+    )
     results = eng.run_all(jobs)
 
     stride = 2 + len(candidates)

@@ -1,4 +1,11 @@
-"""Module entry point for ``python -m repro.bench``."""
+"""Module entry point for ``python -m repro.bench``.
+
+Dispatches to :mod:`repro.bench.cli`: run the registered benchmark suites
+(``--suite``/``--quick``), record ``BENCH_<suite>.json`` history entries,
+check fresh timings against the committed baseline (``--check``,
+``--strict``, ``--tolerance``) and maintain that baseline
+(``--update-baseline``).
+"""
 
 from __future__ import annotations
 

@@ -36,7 +36,8 @@ from repro.bench.schema import BenchEntry
 from repro.bench.suites import SUITES, run_suite
 
 
-def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.bench`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
         description="Run the repository's benchmark suites and check for regressions.",
@@ -105,7 +106,11 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         help="with --check, fail when a suite cannot be compared (missing or "
         "mismatched baseline) instead of skipping it",
     )
-    return parser.parse_args(argv)
+    return parser
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    return build_parser().parse_args(argv)
 
 
 def _write_profile(

@@ -358,9 +358,107 @@ def run_scenarios_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
     return _entry("scenarios", parameters, runs, calibration)
 
 
+def run_fabric_suite(*, quick: bool = False, workers: int = 1) -> BenchEntry:
+    """Time the distributed campaign fabric end to end.
+
+    Shards a campaign's planned job list across two simulated workers with
+    private disk caches, merges the worker stores, then resumes the campaign
+    against the merged store — the exact shard → merge → resume workflow
+    ``docs/OPERATIONS.md`` prescribes.  Guards the fabric's overheads on top
+    of raw simulation: fingerprint sharding, versioned cache writes, merge
+    validation, and the cached resume pass that should be dominated by disk
+    reads rather than simulation.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.engine import ResultCache, parse_shard, run_shard
+    from repro.scenarios import campaign_jobs, get_scenario, run_campaign
+    from repro.scenarios.cli import (
+        QUICK_WARMUP as QUICK_SCENARIO_WARMUP,
+        QUICK_WINDOW as QUICK_SCENARIO_WINDOW,
+    )
+
+    window, warmup = (
+        (QUICK_SCENARIO_WINDOW, QUICK_SCENARIO_WARMUP)
+        if quick
+        else (FULL_SCENARIO_WINDOW, FULL_SCENARIO_WARMUP)
+    )
+    names = QUICK_SCENARIO_NAMES
+    scenarios = [get_scenario(name) for name in names]
+    shard_count = 2
+    parameters = {
+        "quick": quick,
+        "window": window,
+        "warmup": warmup,
+        "scenarios": list(names),
+        "search_mode": "factored",
+        "shards": shard_count,
+    }
+
+    calibration = calibrate()
+    runs: list[BenchRun] = []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-fabric-") as tmp:
+        root = Path(tmp)
+        jobs = campaign_jobs(scenarios, search_mode="factored", window=window, warmup=warmup)
+
+        def _run_workers() -> int:
+            simulated = 0
+            for index in range(shard_count):
+                engine = make_engine(workers=workers, cache_dir=root / f"shard{index}")
+                report = run_shard(jobs, parse_shard(f"{index}/{shard_count}"), engine)
+                simulated += report.simulations
+            return simulated
+
+        simulated, seconds = timed(_run_workers)
+        runs.append(
+            BenchRun(
+                name="shard_workers",
+                seconds=seconds,
+                simulations=simulated,
+                extra={"jobs_planned": len(jobs), "shards": shard_count},
+            )
+        )
+
+        merged = ResultCache(root / "merged")
+
+        def _merge() -> int:
+            return sum(merged.merge(root / f"shard{index}").merged for index in range(shard_count))
+
+        entries_merged, seconds = timed(_merge)
+        runs.append(
+            BenchRun(
+                name="merge",
+                seconds=seconds,
+                extra={"entries_merged": entries_merged},
+            )
+        )
+
+        engine = make_engine(workers=workers, cache_dir=root / "merged")
+        result, seconds = timed(
+            run_campaign,
+            scenarios,
+            search_mode="factored",
+            window=window,
+            warmup=warmup,
+            engine=engine,
+        )
+        runs.append(
+            BenchRun(
+                name="resume_campaign",
+                seconds=seconds,
+                simulations=engine.stats.simulations,
+                cache_hits=engine.stats.cache_hits,
+                extra={"rows": len(result.rows)},
+            )
+        )
+    return _entry("fabric", parameters, runs, calibration)
+
+
 #: Registry of available suites.
 SUITES: dict[str, Callable[..., BenchEntry]] = {
     "energy": run_energy_suite,
+    "fabric": run_fabric_suite,
     "fig2": run_fig2_suite,
     "fig6": run_fig6_suite,
     "scenarios": run_scenarios_suite,

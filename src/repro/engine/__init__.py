@@ -24,16 +24,32 @@ from __future__ import annotations
 
 import os
 
-from repro.engine.cache import CacheStats, ResultCache
-from repro.engine.engine import EngineStats, ExperimentEngine
+from repro.engine.cache import (
+    CacheMergeError,
+    CacheStats,
+    CacheVersionError,
+    MergeReport,
+    ResultCache,
+)
+from repro.engine.engine import EngineStats, ExperimentEngine, JobHandle
 from repro.engine.executors import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
     default_worker_count,
 )
+from repro.engine.fabric import (
+    ShardReport,
+    ShardSpec,
+    parse_shard,
+    run_shard,
+    select_shard,
+    shard_index,
+    shard_jobs,
+)
 from repro.engine.job import (
     DEFAULT_TRACE_SEED,
+    FINGERPRINT_VERSION,
     SimulationJob,
     SpecKind,
     canonical_payload,
@@ -44,14 +60,21 @@ from repro.engine.job import (
 from repro.engine.runner import run_job, run_jobs
 
 __all__ = [
+    "CacheMergeError",
     "CacheStats",
+    "CacheVersionError",
     "DEFAULT_TRACE_SEED",
     "EngineStats",
     "Executor",
     "ExperimentEngine",
+    "FINGERPRINT_VERSION",
+    "JobHandle",
+    "MergeReport",
     "ParallelExecutor",
     "ResultCache",
     "SerialExecutor",
+    "ShardReport",
+    "ShardSpec",
     "SimulationJob",
     "SpecKind",
     "canonical_payload",
@@ -62,9 +85,14 @@ __all__ = [
     "default_worker_count",
     "make_engine",
     "make_trace",
+    "parse_shard",
     "run_job",
     "run_jobs",
+    "run_shard",
+    "select_shard",
     "set_default_engine",
+    "shard_index",
+    "shard_jobs",
 ]
 
 _default_engine: ExperimentEngine | None = None

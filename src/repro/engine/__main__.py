@@ -1,0 +1,11 @@
+"""Module entry point for ``python -m repro.engine``.
+
+Dispatches to :mod:`repro.engine.cli`, the maintenance CLI for persistent
+result-cache stores (``merge`` worker caches into a canonical store,
+``inspect`` a store's entry and version census).
+"""
+
+from repro.engine.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,16 @@ drivers — never re-simulate an identical configuration.  Simulations are
 deterministic functions of the job fingerprint, which is what makes caching
 sound.
 
+Disk entries are *versioned*: every file records the
+:data:`~repro.engine.job.FINGERPRINT_VERSION` it was written under, and both
+the load path and :meth:`ResultCache.merge` refuse entries from a different
+version with an error naming both versions — a stale cache directory must
+fail loudly rather than silently miss (or, worse, collide with) current
+fingerprints.  The merge operation is what makes the distributed campaign
+fabric work: worker processes fill private cache directories and
+:meth:`ResultCache.merge` folds them into one canonical store, byte-for-byte
+identical to the store a single process would have produced.
+
 Stored results are returned as deep copies: :class:`RunResult` is mutable,
 and callers must never be able to corrupt the cache (or each other) through
 a shared instance.
@@ -19,10 +29,26 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
+from typing import Iterator
 
 from repro.analysis.metrics import RunResult
+from repro.engine.job import FINGERPRINT_VERSION
+
+
+class CacheVersionError(ValueError):
+    """A cache entry was written under a different ``FINGERPRINT_VERSION``.
+
+    Raised instead of silently mixing stores: entries from different
+    fingerprint versions describe different simulator semantics, so folding
+    them into one directory (or serving them to a newer engine) would let a
+    stale result masquerade as a current one.
+    """
+
+
+class CacheMergeError(ValueError):
+    """A merge source entry is invalid or conflicts with the destination."""
 
 
 @dataclass(slots=True)
@@ -38,6 +64,23 @@ class CacheStats:
     def hits(self) -> int:
         """Total lookups served without simulation."""
         return self.memory_hits + self.disk_hits
+
+
+@dataclass(slots=True)
+class MergeReport:
+    """Outcome of folding one source directory into a canonical store."""
+
+    source: str
+    examined: int = 0
+    merged: int = 0
+    duplicates: int = 0
+
+    def describe(self) -> str:
+        """One summary line for CLI output."""
+        return (
+            f"{self.source}: {self.merged} merged, "
+            f"{self.duplicates} duplicate(s), {self.examined} examined"
+        )
 
 
 class ResultCache:
@@ -77,21 +120,64 @@ class ResultCache:
             return True
         return self._load_disk(fingerprint) is not None
 
+    def disk_fingerprints(self) -> list[str]:
+        """Sorted fingerprints of every committed disk entry (unvalidated)."""
+        if self._directory is None:
+            return []
+        return sorted(path.stem for path in self._directory.glob("*.json"))
+
     def _path(self, fingerprint: str) -> Path | None:
         if self._directory is None:
             return None
         return self._directory / f"{fingerprint}.json"
 
+    @staticmethod
+    def _check_version(data: dict, source: Path) -> None:
+        """Raise :class:`CacheVersionError` unless *data* matches this build.
+
+        Entries written before cache payloads carried a version field (or by
+        a build with a different ``FINGERPRINT_VERSION``) are rejected: the
+        stored result may encode different simulator semantics than the
+        fingerprint the current code would compute.
+        """
+        stored = data.get("version")
+        if stored == FINGERPRINT_VERSION:
+            return
+        described = (
+            "no recorded version (a pre-versioning store)"
+            if stored is None
+            else f"FINGERPRINT_VERSION {stored!r}"
+        )
+        raise CacheVersionError(
+            f"cache entry {source} was written under {described}, but this "
+            f"build is FINGERPRINT_VERSION {FINGERPRINT_VERSION}; refusing "
+            f"to mix stores — regenerate the entry or delete the stale "
+            f"cache directory"
+        )
+
     def _load_disk(self, fingerprint: str) -> RunResult | None:
-        """Parse the disk entry into the memory tier; ``None`` if invalid."""
+        """Parse the disk entry into the memory tier; ``None`` if invalid.
+
+        A syntactically broken file (truncated write, not JSON, missing
+        keys) is a miss — it simply re-simulates.  A *well-formed* entry
+        recorded under a different ``FINGERPRINT_VERSION`` raises
+        :class:`CacheVersionError` instead: that is a configuration error
+        (pointing the engine at a stale store), not a transient artefact.
+        """
         path = self._path(fingerprint)
         if path is None or not path.exists():
             return None
         try:
             data = json.loads(path.read_text())
+        except ValueError:
+            # A truncated or garbled cache file is a miss, not an error.
+            return None
+        if not isinstance(data, dict) or "result" not in data:
+            return None
+        self._check_version(data, path)
+        try:
             result = RunResult.from_dict(data["result"])
         except (ValueError, KeyError, TypeError):
-            # A truncated or stale cache file is a miss, not an error.
             return None
         self._memory[fingerprint] = result
         return result
@@ -112,21 +198,50 @@ class ResultCache:
         self.stats.misses += 1
         return None
 
+    @staticmethod
+    def _canonical(result: RunResult) -> RunResult:
+        """A deep copy with per-process observability fields reset.
+
+        Fields in :attr:`RunResult.PROCESS_DEPENDENT_FIELDS` reflect how
+        warm *this* process happened to be, not what the job computed;
+        resetting them makes cached (and persisted) results canonical, so
+        two stores covering the same fingerprints are byte-identical no
+        matter how the work was partitioned.
+        """
+        stored = copy.deepcopy(result)
+        defaults = {spec.name: spec.default for spec in fields(RunResult)}
+        for name in RunResult.PROCESS_DEPENDENT_FIELDS:
+            setattr(stored, name, defaults[name])
+        return stored
+
     def put(self, fingerprint: str, result: RunResult) -> None:
-        """Store *result* under *fingerprint* (memory, then disk if enabled)."""
-        self._memory[fingerprint] = copy.deepcopy(result)
+        """Store *result* under *fingerprint* (memory, then disk if enabled).
+
+        The stored copy is canonicalised (:meth:`_canonical`): per-process
+        observability counters are reset so identical fingerprints always
+        persist identical bytes.
+        """
+        stored = self._canonical(result)
+        self._memory[fingerprint] = stored
         self.stats.stores += 1
         path = self._path(fingerprint)
         if path is None:
             return
-        payload = {"fingerprint": fingerprint, "result": result.to_dict()}
+        payload = {
+            "fingerprint": fingerprint,
+            "version": FINGERPRINT_VERSION,
+            "result": stored.to_dict(),
+        }
+        self._write_payload(path, json.dumps(payload))
+
+    def _write_payload(self, path: Path, text: str) -> None:
         # Write-then-rename keeps concurrent readers from seeing partial files.
         handle = tempfile.NamedTemporaryFile(
             "w", dir=self._directory, prefix=".tmp-", suffix=".json", delete=False
         )
         try:
             with handle:
-                json.dump(payload, handle)
+                handle.write(text)
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -136,6 +251,88 @@ class ResultCache:
                 # reaped the temp file already; don't mask the original error.
                 pass
             raise
+
+    # ------------------------------------------------------------------ merge
+
+    def _validated_source_entries(self, source: Path) -> Iterator[tuple[Path, str]]:
+        """Yield ``(path, text)`` for every valid entry under *source*.
+
+        Every committed entry is fully validated — JSON parse, fingerprint
+        consistent with its file name, matching ``FINGERPRINT_VERSION`` and a
+        :class:`RunResult` schema round-trip — before anything is written to
+        the destination, so a bad source refuses the merge instead of
+        half-applying it.
+        """
+        for path in sorted(source.glob("*.json")):
+            text = path.read_text()
+            try:
+                data = json.loads(text)
+            except ValueError as error:
+                raise CacheMergeError(
+                    f"merge source entry {path} is not valid JSON ({error}); "
+                    f"delete the file and re-run the worker that produced it"
+                ) from error
+            if not isinstance(data, dict) or "result" not in data:
+                raise CacheMergeError(
+                    f"merge source entry {path} has no result payload; "
+                    f"delete the file and re-run the worker that produced it"
+                )
+            self._check_version(data, path)
+            if data.get("fingerprint") != path.stem:
+                raise CacheMergeError(
+                    f"merge source entry {path} records fingerprint "
+                    f"{data.get('fingerprint')!r}, which does not match its "
+                    f"file name — the store is corrupt or hand-edited"
+                )
+            try:
+                RunResult.from_dict(data["result"])
+            except (ValueError, KeyError, TypeError) as error:
+                raise CacheMergeError(
+                    f"merge source entry {path} does not deserialise as a "
+                    f"RunResult ({error}); delete the file and re-run the "
+                    f"worker that produced it"
+                ) from error
+            yield path, text
+
+    def merge(self, other: str | os.PathLike | "ResultCache") -> MergeReport:
+        """Fold another on-disk store into this cache's directory.
+
+        *other* is a cache directory (or a disk-backed :class:`ResultCache`).
+        Every source entry is validated first — including the
+        ``FINGERPRINT_VERSION`` check, so cross-version mixes are refused
+        with :class:`CacheVersionError` — then copied byte-for-byte into this
+        cache's directory via the same atomic write-then-rename as
+        :meth:`put`.  Entries already present must be byte-identical (the
+        simulations are deterministic); a differing duplicate raises
+        :class:`CacheMergeError` rather than silently preferring one side.
+        """
+        if self._directory is None:
+            raise ValueError("cannot merge into a memory-only cache")
+        source = other.directory if isinstance(other, ResultCache) else Path(other)
+        if source is None:
+            raise ValueError("cannot merge from a memory-only cache")
+        if not source.is_dir():
+            raise FileNotFoundError(f"merge source {source} is not a directory")
+        if source.resolve() == self._directory.resolve():
+            raise ValueError(f"merge source {source} is the destination itself")
+
+        report = MergeReport(source=str(source))
+        for path, text in self._validated_source_entries(source):
+            report.examined += 1
+            destination = self._directory / path.name
+            if destination.exists():
+                if destination.read_text() == text:
+                    report.duplicates += 1
+                    continue
+                raise CacheMergeError(
+                    f"merge conflict on fingerprint {path.stem}: {path} and "
+                    f"{destination} hold different bytes for the same "
+                    f"fingerprint — the stores were produced by diverging "
+                    f"code and must not be mixed"
+                )
+            self._write_payload(destination, text)
+            report.merged += 1
+        return report
 
     def _sweep_stale_temp_files(self, max_age_seconds: float | None = None) -> int:
         """Remove orphaned ``.tmp-*`` files left by writers killed mid-`put`.

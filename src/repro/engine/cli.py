@@ -1,0 +1,126 @@
+"""``python -m repro.engine`` — operate on persistent result-cache stores.
+
+The maintenance surface of the distributed campaign fabric: worker
+processes fill private cache directories (``matrix --shard K/N
+--cache-dir DIR``), and this CLI folds and inspects them.
+
+Examples::
+
+    python -m repro.engine merge merged/ shard0/ shard1/
+    python -m repro.engine inspect merged/
+    python -m repro.engine inspect merged/ --json
+
+``merge`` validates every source entry (JSON parse, fingerprint/file-name
+consistency, ``FINGERPRINT_VERSION`` match, result-schema round-trip)
+before copying it byte-for-byte into the destination store, refusing
+cross-version mixes and conflicting duplicates.  ``inspect`` summarises a
+store without modifying it.  See ``docs/OPERATIONS.md`` for the full
+shard / merge / resume workflows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.engine.cache import CacheMergeError, CacheVersionError, ResultCache
+from repro.engine.job import FINGERPRINT_VERSION
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.engine`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Maintain persistent result-cache stores (merge, inspect).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    merge_parser = subparsers.add_parser(
+        "merge", help="fold worker cache directories into one canonical store"
+    )
+    merge_parser.add_argument("destination", help="destination store directory")
+    merge_parser.add_argument(
+        "sources", nargs="+", help="source cache directories (one per worker)"
+    )
+
+    inspect_parser = subparsers.add_parser(
+        "inspect", help="summarise a result-cache store without modifying it"
+    )
+    inspect_parser.add_argument("directory", help="cache directory to inspect")
+    inspect_parser.add_argument("--json", action="store_true", dest="as_json")
+    return parser
+
+
+def _inspect(directory: Path) -> dict:
+    entries = 0
+    versions: dict[str, int] = {}
+    temp_files = 0
+    for path in sorted(directory.glob("*.json")):
+        entries += 1
+        try:
+            data = json.loads(path.read_text())
+            version = data.get("version") if isinstance(data, dict) else None
+            key = str(version) if version is not None else "unversioned"
+        except ValueError:
+            key = "invalid"
+        versions[key] = versions.get(key, 0) + 1
+    for _ in directory.glob(".tmp-*"):
+        temp_files += 1
+    return {
+        "directory": str(directory),
+        "entries": entries,
+        "versions": versions,
+        "orphaned_temp_files": temp_files,
+        "expected_version": FINGERPRINT_VERSION,
+    }
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "merge":
+        destination = ResultCache(args.destination)
+        total = 0
+        try:
+            for source in args.sources:
+                report = destination.merge(source)
+                total += report.merged
+                print(report.describe())
+        except (CacheMergeError, CacheVersionError, FileNotFoundError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        entries = len(destination.disk_fingerprints())
+        print(f"merged {total} new entr(y/ies) into {args.destination} ({entries} total)")
+        return 0
+
+    if args.command == "inspect":
+        directory = Path(args.directory)
+        if not directory.is_dir():
+            print(f"error: {directory} is not a directory", file=sys.stderr)
+            return 2
+        summary = _inspect(directory)
+        if args.as_json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            return 0
+        print(f"store     : {summary['directory']}")
+        print(f"entries   : {summary['entries']}")
+        for version in sorted(summary["versions"]):
+            marker = (
+                ""
+                if version == str(summary["expected_version"])
+                else "  (incompatible with this build)"
+            )
+            print(f"  version {version}: {summary['versions'][version]}{marker}")
+        print(f"temp files: {summary['orphaned_temp_files']}")
+        print(f"this build: FINGERPRINT_VERSION {summary['expected_version']}")
+        return 0
+
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

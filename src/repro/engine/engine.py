@@ -4,13 +4,28 @@
 cache (memoisation) and performs the batch bookkeeping both need: duplicate
 jobs inside one submission are simulated once, previously seen jobs are
 served from the cache, and everything comes back in submission order.
+
+Results are checkpointed *incrementally*: every finished simulation is
+written to the result cache the moment its executor yields it, so a batch
+killed part-way through keeps all completed work — the substrate of the
+``matrix --resume`` workflow and the distributed campaign fabric
+(:mod:`repro.engine.fabric`).
+
+The engine can also be driven asynchronously by many concurrent clients:
+:meth:`ExperimentEngine.submit` returns a :class:`JobHandle` immediately and
+runs the simulation on a background executor, deduplicating in-flight
+fingerprints so two clients submitting the same job share one simulation.
+:meth:`~ExperimentEngine.poll` and :meth:`~ExperimentEngine.result` complete
+the submit/poll/result serving surface.
 """
 
 from __future__ import annotations
 
 import copy
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.analysis.metrics import RunResult
 from repro.engine.cache import ResultCache
@@ -34,6 +49,43 @@ class EngineStats:
         return self.cache_hits + self.batch_duplicates
 
 
+class JobHandle:
+    """One asynchronous submission: poll it, then collect its result.
+
+    Handles are created by :meth:`ExperimentEngine.submit`; several handles
+    may share one underlying simulation (in-flight fingerprint dedup), and
+    each :meth:`result` call returns a private deep copy so concurrent
+    clients can never corrupt each other through a shared
+    :class:`RunResult`.
+    """
+
+    __slots__ = ("job", "fingerprint", "source", "_future")
+
+    def __init__(self, job: SimulationJob, fingerprint: str, source: str, future: Future) -> None:
+        self.job = job
+        self.fingerprint = fingerprint
+        #: How the submission was satisfied: ``"cache"`` (already stored),
+        #: ``"duplicate"`` (rides an in-flight simulation) or ``"simulated"``.
+        self.source = source
+        self._future = future
+
+    def done(self) -> bool:
+        """True once the result (or a failure) is available."""
+        return self._future.done()
+
+    def result(self, timeout: float | None = None) -> RunResult:
+        """Block up to *timeout* seconds and return a copy of the result."""
+        return copy.deepcopy(self._future.result(timeout))
+
+    def exception(self, timeout: float | None = None) -> BaseException | None:
+        """The simulation's exception, if it failed; blocks like ``result``."""
+        return self._future.exception(timeout)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.done() else "pending"
+        return f"JobHandle({self.job.describe()}, {self.source}, {state})"
+
+
 class ExperimentEngine:
     """Submit :class:`SimulationJob` batches; receive :class:`RunResult` lists."""
 
@@ -43,11 +95,20 @@ class ExperimentEngine:
         cache: ResultCache | None = None,
         *,
         runner: JobRunner = run_job,
+        async_workers: int | None = None,
     ) -> None:
         self.executor = executor if executor is not None else SerialExecutor()
         self.cache = cache
         self.runner = runner
         self.stats = EngineStats()
+        # One lock guards the cache and stats across run_all and the async
+        # serving surface; simulations themselves run outside it.
+        self._lock = threading.RLock()
+        self._inflight: dict[str, Future] = {}
+        self._async_workers = async_workers
+        self._async_pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------- batch API
 
     def run(self, job: SimulationJob) -> RunResult:
         """Run one job (through the cache)."""
@@ -58,32 +119,130 @@ class ExperimentEngine:
 
         Identical jobs (by fingerprint) within the batch are simulated once;
         jobs whose fingerprint is already cached are not simulated at all.
+        Fresh results are stored in the cache as each simulation completes,
+        so interrupting a long batch preserves the finished prefix on disk.
         """
         jobs = list(jobs)
-        self.stats.jobs_submitted += len(jobs)
         results: list[RunResult | None] = [None] * len(jobs)
         pending: dict[str, list[int]] = {}
-        for position, job in enumerate(jobs):
-            fingerprint = job.fingerprint()
-            if fingerprint in pending:
-                pending[fingerprint].append(position)
-                self.stats.batch_duplicates += 1
-                continue
-            cached = self.cache.get(fingerprint) if self.cache is not None else None
-            if cached is not None:
-                results[position] = cached
-                self.stats.cache_hits += 1
-            else:
-                pending[fingerprint] = [position]
+        with self._lock:
+            self.stats.jobs_submitted += len(jobs)
+            for position, job in enumerate(jobs):
+                fingerprint = job.fingerprint()
+                if fingerprint in pending:
+                    pending[fingerprint].append(position)
+                    self.stats.batch_duplicates += 1
+                    continue
+                cached = self.cache.get(fingerprint) if self.cache is not None else None
+                if cached is not None:
+                    results[position] = cached
+                    self.stats.cache_hits += 1
+                else:
+                    pending[fingerprint] = [position]
 
         unique_jobs = [jobs[positions[0]] for positions in pending.values()]
-        fresh = self.executor.run_jobs(unique_jobs, self.runner)
-        self.stats.simulations += len(unique_jobs)
-
-        for (fingerprint, positions), result in zip(pending.items(), fresh):
-            if self.cache is not None:
-                self.cache.put(fingerprint, result)
+        stream = self._stream(unique_jobs)
+        for (fingerprint, positions), result in zip(pending.items(), stream):
+            with self._lock:
+                self.stats.simulations += 1
+                if self.cache is not None:
+                    self.cache.put(fingerprint, result)
             results[positions[0]] = result
             for position in positions[1:]:
                 results[position] = copy.deepcopy(result)
         return results  # type: ignore[return-value]
+
+    def _stream(self, jobs: Sequence[SimulationJob]) -> Iterator[RunResult]:
+        """Results of *jobs* in order, as they finish."""
+        imap = getattr(self.executor, "imap_jobs", None)
+        if imap is not None:
+            return iter(imap(jobs, self.runner))
+        # Third-party executors only required to implement run_jobs: no
+        # incremental checkpointing, but identical results.
+        return iter(self.executor.run_jobs(jobs, self.runner))
+
+    # ------------------------------------------------------------- async API
+
+    def submit(self, job: SimulationJob) -> JobHandle:
+        """Queue *job* on the background executor and return a handle.
+
+        Returns immediately.  A fingerprint already in the cache yields an
+        already-completed handle (``source="cache"``); one currently being
+        simulated by another client's submission shares that simulation
+        (``source="duplicate"``); anything else is scheduled on the
+        background pool (``source="simulated"``).
+        """
+        fingerprint = job.fingerprint()
+        with self._lock:
+            self.stats.jobs_submitted += 1
+            existing = self._inflight.get(fingerprint)
+            if existing is not None:
+                self.stats.batch_duplicates += 1
+                return JobHandle(job, fingerprint, "duplicate", existing)
+            cached = self.cache.get(fingerprint) if self.cache is not None else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                future: Future = Future()
+                future.set_result(cached)
+                return JobHandle(job, fingerprint, "cache", future)
+            future = Future()
+            self._inflight[fingerprint] = future
+            pool = self._ensure_async_pool()
+        pool.submit(self._run_submitted, fingerprint, job, future)
+        return JobHandle(job, fingerprint, "simulated", future)
+
+    def poll(self, handle: JobHandle) -> bool:
+        """True once *handle*'s simulation has completed (or failed)."""
+        return handle.done()
+
+    def result(self, handle: JobHandle, timeout: float | None = None) -> RunResult:
+        """Block up to *timeout* seconds for *handle* and return its result."""
+        return handle.result(timeout)
+
+    def drain(self) -> None:
+        """Block until every in-flight asynchronous submission has finished."""
+        while True:
+            with self._lock:
+                futures = list(self._inflight.values())
+            if not futures:
+                return
+            for future in futures:
+                try:
+                    future.result()
+                except Exception:
+                    # The submitting client observes the failure through its
+                    # handle; drain only waits for quiescence.
+                    pass
+
+    def close(self) -> None:
+        """Drain the async surface and shut the background pool down."""
+        self.drain()
+        with self._lock:
+            pool, self._async_pool = self._async_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def _ensure_async_pool(self) -> ThreadPoolExecutor:
+        if self._async_pool is None:
+            workers = self._async_workers
+            if workers is None:
+                workers = max(2, self.executor.workers)
+            self._async_pool = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-engine"
+            )
+        return self._async_pool
+
+    def _run_submitted(self, fingerprint: str, job: SimulationJob, future: Future) -> None:
+        try:
+            result = self.executor.run_jobs([job], self.runner)[0]
+        except BaseException as error:  # noqa: BLE001 - delivered via the future
+            with self._lock:
+                self._inflight.pop(fingerprint, None)
+            future.set_exception(error)
+            return
+        with self._lock:
+            self.stats.simulations += 1
+            if self.cache is not None:
+                self.cache.put(fingerprint, result)
+            self._inflight.pop(fingerprint, None)
+        future.set_result(result)

@@ -12,7 +12,7 @@ import math
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from typing import Callable, Protocol, Sequence
+from typing import Callable, Iterator, Protocol, Sequence
 
 from repro.analysis.metrics import RunResult
 from repro.engine.job import SimulationJob
@@ -36,6 +36,18 @@ class Executor(Protocol):
         """Run *jobs* through *runner*, returning results in input order."""
         ...
 
+    def imap_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> Iterator[RunResult]:
+        """Run *jobs* through *runner*, yielding results in input order.
+
+        Results become available as individual jobs finish, so the engine
+        can persist each one to the result cache immediately — a killed
+        batch keeps every completed simulation instead of losing the whole
+        submission.
+        """
+        ...
+
 
 class SerialExecutor:
     """Run every job in the calling process, one after another."""
@@ -49,7 +61,13 @@ class SerialExecutor:
     def run_jobs(
         self, jobs: Sequence[SimulationJob], runner: JobRunner
     ) -> list[RunResult]:
-        return [runner(job) for job in jobs]
+        return list(self.imap_jobs(jobs, runner))
+
+    def imap_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> Iterator[RunResult]:
+        for job in jobs:
+            yield runner(job)
 
 
 def default_worker_count() -> int:
@@ -105,8 +123,16 @@ class ParallelExecutor:
     def run_jobs(
         self, jobs: Sequence[SimulationJob], runner: JobRunner
     ) -> list[RunResult]:
+        return list(self.imap_jobs(jobs, runner))
+
+    def imap_jobs(
+        self, jobs: Sequence[SimulationJob], runner: JobRunner
+    ) -> Iterator[RunResult]:
         if self.max_workers == 1 or len(jobs) <= 1:
-            return SerialExecutor().run_jobs(jobs, runner)
+            yield from SerialExecutor().imap_jobs(jobs, runner)
+            return
         workers = min(self.max_workers, len(jobs))
         with _ProcessPool(max_workers=workers, mp_context=self._context()) as pool:
-            return list(pool.map(runner, jobs, chunksize=self._chunk_size(len(jobs))))
+            # pool.map yields completed results in input order as chunks
+            # finish, so the consumer can checkpoint progressively.
+            yield from pool.map(runner, jobs, chunksize=self._chunk_size(len(jobs)))

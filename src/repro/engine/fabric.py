@@ -1,0 +1,169 @@
+"""The distributed campaign fabric: shard a job list, run a shard, merge.
+
+Large campaigns are embarrassingly parallel at the job level: every
+:class:`~repro.engine.job.SimulationJob` is content-addressed by its
+fingerprint and results are deterministic, so a campaign can be split
+across worker processes (or hosts) that share nothing but the job list.
+This module provides the three fabric primitives:
+
+* **shard** — :func:`shard_jobs` / :func:`select_shard` deterministically
+  partition a deduplicated job list across *N* shards, keyed purely on the
+  job fingerprint, so every worker derives the identical partition from the
+  identical campaign description with no coordination;
+* **work** — :func:`run_shard` runs one shard through a worker's own
+  :class:`~repro.engine.ExperimentEngine` against a private disk cache,
+  returning a :class:`ShardReport`;
+* **merge** — performed by :meth:`repro.engine.cache.ResultCache.merge`
+  (CLI: ``python -m repro.engine merge``), which folds the workers' private
+  caches into one canonical store.
+
+A merged store is completed and reported by ``python -m repro.scenarios
+matrix --resume --cache-dir MERGED``: the resume pass serves every sharded
+job from the store and simulates only the small result-dependent tail (the
+factored search's combined winners), which cannot be enumerated up front.
+See ``docs/OPERATIONS.md`` for the operator workflows.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.engine.engine import ExperimentEngine
+from repro.engine.job import SimulationJob
+
+__all__ = [
+    "ShardReport",
+    "ShardSpec",
+    "parse_shard",
+    "run_shard",
+    "select_shard",
+    "shard_index",
+    "shard_jobs",
+]
+
+_SHARD_PATTERN = re.compile(r"^(\d+)/(\d+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class ShardSpec:
+    """One worker's slice of a sharded campaign: shard *index* of *count*."""
+
+    index: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError("shard count must be at least 1")
+        if not 0 <= self.index < self.count:
+            raise ValueError(f"shard index {self.index} out of range for {self.count} shard(s)")
+
+    def describe(self) -> str:
+        """The ``K/N`` form accepted by :func:`parse_shard`."""
+        return f"{self.index}/{self.count}"
+
+
+def parse_shard(text: str) -> ShardSpec:
+    """Parse a ``K/N`` shard argument (``0/2`` = first of two shards)."""
+    match = _SHARD_PATTERN.match(text.strip())
+    if match is None:
+        raise ValueError(f"invalid shard {text!r}: expected K/N with 0 <= K < N, e.g. 0/2")
+    return ShardSpec(index=int(match.group(1)), count=int(match.group(2)))
+
+
+def shard_index(fingerprint: str, shard_count: int) -> int:
+    """The shard owning *fingerprint* among *shard_count* shards.
+
+    The key is the job fingerprint itself (a SHA-256 hex digest, already
+    uniformly distributed), so the assignment is stable across processes,
+    hosts and sessions: every worker computes the same partition from the
+    same campaign description.
+    """
+    if shard_count < 1:
+        raise ValueError("shard count must be at least 1")
+    return int(fingerprint, 16) % shard_count
+
+
+def shard_jobs(jobs: Sequence[SimulationJob], shard_count: int) -> list[list[SimulationJob]]:
+    """Partition *jobs*, deduplicated by fingerprint, across *shard_count* shards.
+
+    Duplicate fingerprints are dropped after their first occurrence (each
+    shard must simulate a fingerprint at most once, and two shards must
+    never both own one); within a shard, jobs keep their submission order.
+    The union of all shards is exactly the deduplicated job list.
+    """
+    shards: list[list[SimulationJob]] = [[] for _ in range(shard_count)]
+    seen: set[str] = set()
+    for job in jobs:
+        fingerprint = job.fingerprint()
+        if fingerprint in seen:
+            continue
+        seen.add(fingerprint)
+        shards[shard_index(fingerprint, shard_count)].append(job)
+    return shards
+
+
+def select_shard(jobs: Sequence[SimulationJob], shard: ShardSpec) -> list[SimulationJob]:
+    """The jobs of *shard* out of the deduplicated *jobs* list."""
+    return shard_jobs(jobs, shard.count)[shard.index]
+
+
+@dataclass(slots=True)
+class ShardReport:
+    """Accounting for one worker's pass over its shard."""
+
+    shard: ShardSpec
+    jobs_planned: int
+    jobs_unique: int
+    jobs_in_shard: int
+    simulations: int
+    cache_hits: int
+
+    def describe(self) -> str:
+        """One summary line for worker logs."""
+        return (
+            f"shard {self.shard.describe()}: {self.jobs_in_shard} of "
+            f"{self.jobs_unique} unique job(s) ({self.jobs_planned} planned), "
+            f"{self.simulations} simulation(s), {self.cache_hits} cache hit(s)"
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data form (for ``--json`` worker output)."""
+        return {
+            "shard_index": self.shard.index,
+            "shard_count": self.shard.count,
+            "jobs_planned": self.jobs_planned,
+            "jobs_unique": self.jobs_unique,
+            "jobs_in_shard": self.jobs_in_shard,
+            "simulations": self.simulations,
+            "cache_hits": self.cache_hits,
+        }
+
+
+def run_shard(
+    jobs: Sequence[SimulationJob], shard: ShardSpec, engine: ExperimentEngine
+) -> ShardReport:
+    """Run *shard*'s slice of *jobs* through *engine* and report the work.
+
+    The engine's cache (typically a private disk directory — see
+    ``docs/OPERATIONS.md``) receives every result incrementally, so a killed
+    worker loses only its in-flight simulation; re-running the same shard
+    against the same cache directory finishes the remainder.
+    """
+    jobs = list(jobs)
+    unique: set[str] = set()
+    for job in jobs:
+        unique.add(job.fingerprint())
+    selected = select_shard(jobs, shard)
+    before_simulations = engine.stats.simulations
+    before_hits = engine.stats.cache_hits
+    engine.run_all(selected)
+    return ShardReport(
+        shard=shard,
+        jobs_planned=len(jobs),
+        jobs_unique=len(unique),
+        jobs_in_shard=len(selected),
+        simulations=engine.stats.simulations - before_simulations,
+        cache_hits=engine.stats.cache_hits - before_hits,
+    )

@@ -19,6 +19,7 @@ from repro.scenarios.campaign import (
     MACHINE_STYLES,
     CampaignResult,
     CampaignRow,
+    campaign_jobs,
     count_reconfigurations,
     run_campaign,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "SCENARIO_WINDOW",
     "ScenarioSpec",
     "archetype_overrides",
+    "campaign_jobs",
     "count_reconfigurations",
     "get_scenario",
     "run_campaign",

@@ -1,4 +1,10 @@
-"""Module entry point for ``python -m repro.scenarios``."""
+"""Module entry point for ``python -m repro.scenarios``.
+
+Dispatches to :mod:`repro.scenarios.cli`: browse the scenario library
+(``list``/``describe``), run one scenario's three-machine comparison
+(``run``), or drive the campaign matrix (``matrix``) — including the
+distributed fabric's ``--shard K/N`` worker mode and ``--resume``.
+"""
 
 from repro.scenarios.cli import main
 

@@ -23,16 +23,22 @@ from typing import Any, Mapping, Sequence
 
 from repro.analysis.metrics import RunResult
 from repro.analysis.reporting import format_table
-from repro.analysis.sweep import WorkloadComparison, compare_workloads
+from repro.analysis.sweep import WorkloadComparison, compare_workloads, comparison_jobs
 from repro.core.configuration import AdaptiveConfigIndices
 from repro.core.controllers.params import AdaptiveControlParams
-from repro.engine import DEFAULT_TRACE_SEED, ExperimentEngine, default_engine
+from repro.engine import (
+    DEFAULT_TRACE_SEED,
+    ExperimentEngine,
+    SimulationJob,
+    default_engine,
+)
 from repro.scenarios.spec import ScenarioSpec
 
 __all__ = [
     "MACHINE_STYLES",
     "CampaignResult",
     "CampaignRow",
+    "campaign_jobs",
     "count_reconfigurations",
     "run_campaign",
 ]
@@ -236,6 +242,41 @@ class CampaignResult:
             "machine_styles": list(MACHINE_STYLES),
             "rows": [row.to_dict() for row in self.rows],
         }
+
+
+def campaign_jobs(
+    scenarios: Sequence[ScenarioSpec],
+    *,
+    search_mode: str = "factored",
+    window: int | None = None,
+    warmup: int | None = None,
+    control: AdaptiveControlParams | None = None,
+    trace_seed: int = DEFAULT_TRACE_SEED,
+    seed: int = 0,
+    control_overrides: Mapping[str, Any] | None = None,
+) -> list[SimulationJob]:
+    """The statically enumerable job list of a campaign over *scenarios*.
+
+    Exactly the first (and overwhelmingly largest) batch
+    :func:`run_campaign` submits — synchronous baseline, Phase-Adaptive run
+    and every Program-Adaptive search candidate, per scenario.  The
+    distributed fabric shards this list across workers by job fingerprint
+    (:func:`repro.engine.fabric.shard_jobs`); the result-dependent tail (the
+    factored search's combined winners) is simulated by the resume pass.
+    Parameters mirror :func:`run_campaign` so a worker and the final resume
+    run always plan the identical job list.
+    """
+    profiles = [scenario.build_profile() for scenario in scenarios]
+    return comparison_jobs(
+        profiles,
+        search_mode=search_mode,
+        window=window,
+        warmup=warmup,
+        control=control,
+        trace_seed=trace_seed,
+        seed=seed,
+        control_overrides=control_overrides,
+    )
 
 
 def run_campaign(

@@ -13,6 +13,23 @@ Examples::
 with ``--cache-dir`` a second invocation is served entirely from the result
 cache (the summary line reports ``0 simulations``).  ``--json`` switches any
 subcommand's output to machine-readable JSON.
+
+The matrix is also the driver of the distributed campaign fabric
+(:mod:`repro.engine.fabric`)::
+
+    # two shard workers (separate processes or hosts), private caches
+    python -m repro.scenarios matrix --quick --shard 0/2 --cache-dir shard0
+    python -m repro.scenarios matrix --quick --shard 1/2 --cache-dir shard1
+    # fold the worker stores into one canonical store
+    python -m repro.engine merge merged shard0 shard1
+    # complete the result-dependent tail and render the matrix
+    python -m repro.scenarios matrix --quick --resume --cache-dir merged
+
+``--shard K/N`` simulates only the fingerprints owned by shard *K* of *N*
+into the worker's private cache and prints shard accounting instead of the
+matrix; ``--resume`` reports how much of the planned job list is already
+cached, then simulates only the remainder (a warm store reports
+``0 simulations``).  See ``docs/OPERATIONS.md`` for the full workflows.
 """
 
 from __future__ import annotations
@@ -23,8 +40,8 @@ import sys
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
-from repro.engine import make_engine
-from repro.scenarios.campaign import CampaignResult, run_campaign
+from repro.engine import CacheVersionError, make_engine, parse_shard, run_shard
+from repro.scenarios.campaign import CampaignResult, campaign_jobs, run_campaign
 from repro.scenarios.library import (
     FAMILIES,
     QUICK_MATRIX_SCENARIOS,
@@ -39,7 +56,8 @@ QUICK_WINDOW = 1_200
 QUICK_WARMUP = 2_000
 
 
-def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.scenarios`` argument parser."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.scenarios",
         description="Browse workload scenarios and run campaign matrices.",
@@ -100,8 +118,25 @@ def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
         help=f"16-scenario subset at CI-sized windows "
         f"(window {QUICK_WINDOW}, warmup {QUICK_WARMUP})",
     )
+    matrix_parser.add_argument(
+        "--shard",
+        default=None,
+        metavar="K/N",
+        help="worker mode: simulate only shard K of N into the private "
+        "--cache-dir and print shard accounting instead of the matrix",
+    )
+    matrix_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="report how much of the planned job list the --cache-dir "
+        "already holds, then simulate only the remainder",
+    )
     add_run_options(matrix_parser)
-    return parser.parse_args(argv)
+    return parser
+
+
+def _parse_args(argv: Sequence[str] | None) -> argparse.Namespace:
+    return build_parser().parse_args(argv)
 
 
 def _scenario_table(scenarios: Sequence[ScenarioSpec]) -> str:
@@ -179,6 +214,26 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"    [{index}] {phase.length} instructions: {overrides}")
         return 0
 
+    shard = getattr(args, "shard", None)
+    resume = getattr(args, "resume", False)
+    if shard is not None and resume:
+        print(
+            "error: --shard and --resume are mutually exclusive (workers "
+            "resume implicitly when re-run against their private cache)",
+            file=sys.stderr,
+        )
+        return 2
+    if (shard is not None or resume) and args.cache_dir is None:
+        print("error: --shard/--resume require --cache-dir", file=sys.stderr)
+        return 2
+    shard_spec = None
+    if shard is not None:
+        try:
+            shard_spec = parse_shard(shard)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
     # run / matrix share the engine and campaign plumbing.
     engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
 
@@ -209,6 +264,31 @@ def main(argv: Sequence[str] | None = None) -> int:
     if getattr(args, "quick", False):
         window = window if window is not None else QUICK_WINDOW
         warmup = warmup if warmup is not None else QUICK_WARMUP
+
+    if shard_spec is not None:
+        # Worker mode: simulate this shard's slice of the planned job list
+        # into the private cache; the matrix itself is rendered later by the
+        # post-merge resume pass, which sees every shard's results.
+        jobs = campaign_jobs(scenarios, search_mode=args.search_mode, window=window, warmup=warmup)
+        report = run_shard(jobs, shard_spec, engine)
+        if args.as_json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.describe())
+        return 0
+
+    if resume:
+        jobs = campaign_jobs(scenarios, search_mode=args.search_mode, window=window, warmup=warmup)
+        fingerprints = {job.fingerprint() for job in jobs}
+        try:
+            cached = sum(1 for fp in fingerprints if fp in engine.cache)
+        except CacheVersionError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"resume: {cached} of {len(fingerprints)} planned job(s) already "
+            f"in {args.cache_dir}; simulating the remainder"
+        )
 
     result = run_campaign(
         scenarios,
