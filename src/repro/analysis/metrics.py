@@ -32,7 +32,17 @@ class ConfigurationChange:
 
 @dataclass(slots=True)
 class RunResult:
-    """Everything measured during one simulation run."""
+    """Everything measured during one simulation run.
+
+    Every field carries a digest classification — ``timing`` (hashed by
+    ``result_digest``; frozen set), ``energy`` (hashed by ``energy_digest``),
+    ``excluded`` or ``process-dependent`` — recorded in
+    ``src/repro/checks/snapshots/digest_fields.json``.  Adding a field
+    without classifying it there (and bumping ``FINGERPRINT_VERSION``) fails
+    ``python -m repro.checks``: an unclassified counter would land in the
+    energy digest by default and, if its value depends on how the run was
+    simulated, silently fork digests between hosts.
+    """
 
     workload: str
     machine: str

@@ -1,0 +1,5 @@
+"""``python -m repro.checks`` — see :mod:`repro.checks.cli`."""
+
+from repro.checks.cli import main
+
+raise SystemExit(main())

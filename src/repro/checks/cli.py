@@ -1,0 +1,115 @@
+"""``python -m repro.checks`` — run the project-invariant static analyzer.
+
+Examples::
+
+    python -m repro.checks                     # full rule set over src/repro
+    python -m repro.checks --json              # machine-readable findings
+    python -m repro.checks --rule det-wallclock src/repro/engine
+    python -m repro.checks --list-rules        # every rule id + description
+    python -m repro.checks --update-snapshots  # after a FINGERPRINT_VERSION bump
+
+Exit status: 0 when no finding survives suppression, 1 on findings, 2 when
+``--update-snapshots`` is refused (a schema change without the matching
+``FINGERPRINT_VERSION`` bump — bump first, then re-run).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+from typing import Sequence
+
+from repro.checks.registry import all_rules
+from repro.checks.runner import run_checks
+from repro.checks.schema_guard import SnapshotError
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro.checks`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description=(
+            "Static analysis of the repo's reproducibility invariants: "
+            "determinism lint, fingerprint-schema guard, digest-purity audit "
+            "and serialization contracts."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories for the source rules (default: src/repro)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE-ID",
+        help="run only this rule (repeatable; default: every rule)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the report as JSON instead of text",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list every rule id with its description and exit",
+    )
+    parser.add_argument(
+        "--update-snapshots",
+        action="store_true",
+        help=(
+            "re-record the committed schema snapshots (refused when the "
+            "schema changed without a FINGERPRINT_VERSION bump)"
+        ),
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(rule_id) for rule_id in rules)
+        for rule_id in sorted(rules):
+            rule = rules[rule_id]
+            print(f"{rule_id:<{width}}  [{rule.kind}] {rule.description}")
+        return 0
+
+    if args.update_snapshots:
+        for rule_id in sorted(all_rules()):
+            rule = all_rules()[rule_id]
+            if rule.update_snapshot is None:
+                continue
+            try:
+                print(rule.update_snapshot())
+            except SnapshotError as error:
+                print(f"error: {error}")
+                return 2
+
+    try:
+        report = run_checks(
+            paths=args.paths or None,
+            rule_ids=args.rules,
+        )
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 2
+
+    if args.as_json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

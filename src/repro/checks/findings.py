@@ -1,0 +1,41 @@
+"""Findings: what a check rule reports, with a stable order and JSON form."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``path`` is repo-relative (posix separators) so finding output and the
+    JSON report are byte-identical across machines; ``line`` is 1-based and
+    0 when the finding has no meaningful line (a missing snapshot, say).
+    """
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def sort_key(self) -> tuple[str, int, str, str]:
+        """Deterministic report order: by file, then line, then rule."""
+        return (self.path, self.line, self.rule, self.message)
+
+    def render(self) -> str:
+        """One-line human-readable form (``path:line: [rule] message``)."""
+        location = f"{self.path}:{self.line}" if self.line else self.path
+        return f"{location}: [{self.rule}] {self.message}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for ``python -m repro.checks --json``."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }

@@ -1,0 +1,113 @@
+"""The rule registry: every check rule, by stable id.
+
+Two rule shapes exist.  *Source* rules get one parsed file at a time and
+report per-line findings (the determinism lint).  *Project* rules ignore the
+scanned files and audit the imported package itself — snapshots, digest
+partitions, serialization contracts — via import-and-introspect.
+
+Rule modules are imported lazily by :func:`all_rules` so that loading
+``repro.checks`` never drags in the simulator packages; a rule only imports
+``repro.engine``/``repro.analysis`` when it actually runs.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.checks.findings import Finding
+from repro.checks.source import SourceFile
+from repro.checks.suppressions import MALFORMED_SUPPRESSION, UNUSED_SUPPRESSION
+
+__all__ = ["Rule", "all_rules", "register", "rule_ids"]
+
+#: Modules that register rules on import, in registration order.
+_RULE_MODULES = (
+    "repro.checks.determinism",
+    "repro.checks.schema_guard",
+    "repro.checks.digest_purity",
+    "repro.checks.contracts",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """One registered check rule.
+
+    Exactly one of ``check_source`` / ``check_project`` is set; meta rules
+    (produced by the suppression machinery itself) set neither.
+    """
+
+    rule_id: str
+    description: str
+    check_source: Callable[[SourceFile], Iterator[Finding]] | None = None
+    check_project: Callable[[Path], Iterator[Finding]] | None = None
+    #: Project rules that maintain a committed snapshot expose an updater
+    #: (``--update-snapshots``); it returns a human-readable status line and
+    #: raises :class:`~repro.checks.schema_guard.SnapshotError` on refusal.
+    update_snapshot: Callable[[], str] | None = None
+
+    @property
+    def kind(self) -> str:
+        if self.check_source is not None:
+            return "source"
+        if self.check_project is not None:
+            return "project"
+        return "meta"
+
+
+_REGISTRY: dict[str, Rule] = {
+    "checks-parse-error": Rule(
+        rule_id="checks-parse-error",
+        description="a scanned file failed to parse; the lint cannot vouch for it",
+    ),
+    MALFORMED_SUPPRESSION: Rule(
+        rule_id=MALFORMED_SUPPRESSION,
+        description=(
+            "an inline '# repro: allow(...)' comment is unparsable, lacks the "
+            "mandatory reason, or names an unknown rule"
+        ),
+    ),
+    UNUSED_SUPPRESSION: Rule(
+        rule_id=UNUSED_SUPPRESSION,
+        description="an inline allow comment suppresses no finding and must be deleted",
+    ),
+}
+
+
+def register(rule: Rule) -> Rule:
+    """Add *rule* to the registry (module import time); ids must be unique."""
+    if rule.rule_id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule
+
+
+def all_rules() -> dict[str, Rule]:
+    """Every registered rule by id, importing the rule modules on first use."""
+    for module in _RULE_MODULES:
+        importlib.import_module(module)
+    return dict(_REGISTRY)
+
+
+def rule_ids() -> list[str]:
+    """Sorted ids of every rule, meta rules included."""
+    return sorted(all_rules())
+
+
+def resolve(selected: Iterable[str] | None) -> list[Rule]:
+    """The rules to run: all of them, or the ``--rule`` subset (validated)."""
+    rules = all_rules()
+    if selected is None:
+        chosen = list(rules)
+    else:
+        unknown = sorted(set(selected) - set(rules))
+        if unknown:
+            raise KeyError(
+                f"unknown rule id(s): {', '.join(unknown)}; "
+                "see `python -m repro.checks --list-rules`"
+            )
+        chosen = list(dict.fromkeys(selected))
+    return [rules[rule_id] for rule_id in sorted(chosen)]

@@ -1,0 +1,116 @@
+"""Running the rule set over a tree and folding in suppressions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.registry import Rule, resolve
+from repro.checks.registry import rule_ids as registered_rule_ids
+from repro.checks.source import SourceFile, iter_python_files, repo_root
+from repro.checks.suppressions import (
+    apply_suppressions,
+    collect_suppressions,
+)
+
+__all__ = ["CheckReport", "default_paths", "run_checks"]
+
+
+@dataclass(slots=True)
+class CheckReport:
+    """Outcome of one ``repro.checks`` run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: list[str] = field(default_factory=list)
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for ``--json`` output."""
+        return {
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "rules_run": list(self.rules_run),
+            "suppressed": self.suppressed,
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def render(self) -> str:
+        """Human-readable report: one line per finding plus a summary."""
+        lines = [finding.render() for finding in self.findings]
+        status = "FAIL" if self.findings else "OK"
+        lines.append(
+            f"{status}: {len(self.findings)} finding(s) "
+            f"({self.files_scanned} file(s) scanned, "
+            f"{len(self.rules_run)} rule(s), "
+            f"{self.suppressed} suppression(s) honoured)"
+        )
+        return "\n".join(lines)
+
+
+def default_paths() -> list[Path]:
+    """The tree the determinism lint guards by default: ``src/repro``."""
+    return [repo_root() / "src" / "repro"]
+
+
+def run_checks(
+    paths: Iterable[Path] | None = None,
+    rule_ids: Iterable[str] | None = None,
+) -> CheckReport:
+    """Run the selected rules (default: all) over *paths* (default: src/repro).
+
+    Source rules scan every ``*.py`` file under the paths; project rules run
+    once against the repository.  Suppression comments are honoured for
+    source-rule findings only — project rules guard package-level invariants
+    with no meaningful suppression site, so their findings always surface.
+    """
+    rules: list[Rule] = resolve(None if rule_ids is None else list(rule_ids))
+    source_rules = [rule for rule in rules if rule.check_source is not None]
+    project_rules = [rule for rule in rules if rule.check_project is not None]
+    # Allow comments are validated against *every* registered rule: a subset
+    # run must not misread a legitimate allow for an unselected rule as
+    # naming an unknown one.
+    known_ids = registered_rule_ids()
+    active_ids = {rule.rule_id for rule in rules}
+
+    report = CheckReport(rules_run=[rule.rule_id for rule in rules])
+    raw_findings: list[Finding] = []
+    suppressions = []
+
+    scan_paths = list(paths) if paths is not None else default_paths()
+    if source_rules:
+        for file_path in iter_python_files(scan_paths):
+            try:
+                source = SourceFile.load(file_path)
+            except (SyntaxError, UnicodeDecodeError) as error:
+                raw_findings.append(
+                    Finding(
+                        rule="checks-parse-error",
+                        path=str(file_path),
+                        line=getattr(error, "lineno", 0) or 0,
+                        message=f"cannot parse file: {error}",
+                    )
+                )
+                continue
+            report.files_scanned += 1
+            file_suppressions, malformed = collect_suppressions(source, known_ids)
+            suppressions.extend(file_suppressions)
+            raw_findings.extend(malformed)
+            for rule in source_rules:
+                raw_findings.extend(rule.check_source(source))
+
+    kept, suppressed = apply_suppressions(raw_findings, suppressions, active_ids)
+    report.suppressed = suppressed
+
+    root = repo_root()
+    for rule in project_rules:
+        kept.extend(rule.check_project(root))
+
+    report.findings = sorted(kept, key=Finding.sort_key)
+    return report

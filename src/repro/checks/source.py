@@ -1,0 +1,73 @@
+"""Source loading for the static checks: files, ASTs and comment tokens."""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["SourceFile", "iter_python_files", "repo_root"]
+
+
+def repo_root() -> Path:
+    """The repository root (``src/repro/checks/`` is three levels below it)."""
+    return Path(__file__).resolve().parents[3]
+
+
+@dataclass(slots=True)
+class SourceFile:
+    """One parsed python file: text, AST and per-line comments."""
+
+    path: Path
+    relative: str
+    text: str
+    tree: ast.Module
+    #: 1-based line number -> comment text (including the leading ``#``).
+    comments: dict[int, str] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path, root: Path | None = None) -> "SourceFile":
+        """Parse *path*; raises ``SyntaxError`` on unparsable source."""
+        root = root if root is not None else repo_root()
+        text = path.read_text(encoding="utf-8")
+        try:
+            relative = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            relative = path.as_posix()
+        tree = ast.parse(text, filename=str(path))
+        comments: dict[int, str] = {}
+        try:
+            for token in tokenize.generate_tokens(io.StringIO(text).readline):
+                if token.type == tokenize.COMMENT:
+                    comments[token.start[0]] = token.string
+        except tokenize.TokenError:
+            # ast.parse accepted the file, so a tokenizer hiccup only costs
+            # comment (suppression) visibility, never the findings themselves.
+            pass
+        return cls(path=path, relative=relative, text=text, tree=tree, comments=comments)
+
+    def line(self, lineno: int) -> str:
+        """The 1-based source line, or ``""`` out of range."""
+        lines = self.text.splitlines()
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+
+def iter_python_files(paths: list[Path]) -> Iterator[Path]:
+    """Every ``*.py`` file under *paths* (files pass through), sorted.
+
+    Sorted traversal keeps the report order and the suppression bookkeeping
+    deterministic — the same property the determinism lint enforces on the
+    tree it scans.
+    """
+    seen: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            seen.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            seen.append(path)
+    yield from sorted(set(seen))

@@ -1,0 +1,155 @@
+"""Inline suppressions: ``# repro: allow(<rule-id>) — <reason>``.
+
+A finding is suppressed when a well-formed allow comment naming its rule sits
+on the finding's own line or on the line directly above it (a standalone
+comment line).  The reason is mandatory — an allow without one is itself a
+finding — and every allow must actually suppress something: stale allows
+surface as ``checks-unused-suppression`` so the baseline cannot silently rot.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.source import SourceFile
+
+__all__ = [
+    "MALFORMED_SUPPRESSION",
+    "UNUSED_SUPPRESSION",
+    "Suppression",
+    "apply_suppressions",
+    "collect_suppressions",
+]
+
+#: Meta-rule ids (registered in :mod:`repro.checks.registry`).  Findings from
+#: these rules are never themselves suppressible: an allow comment must not
+#: be able to excuse its own malformedness.
+MALFORMED_SUPPRESSION = "checks-malformed-suppression"
+UNUSED_SUPPRESSION = "checks-unused-suppression"
+
+_ALLOW_MARKER = re.compile(r"#\s*repro:\s*allow\b")
+_ALLOW_COMMENT = re.compile(
+    r"#\s*repro:\s*allow\(\s*(?P<rules>[a-z0-9-]+(?:\s*,\s*[a-z0-9-]+)*)\s*\)"
+    r"\s*(?:—|--|-)\s*(?P<reason>\S.*)$"
+)
+
+
+@dataclass(slots=True)
+class Suppression:
+    """One parsed allow comment."""
+
+    path: str
+    line: int
+    rules: tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def collect_suppressions(
+    source: SourceFile, known_rules: Iterable[str]
+) -> tuple[list[Suppression], list[Finding]]:
+    """Parse every allow comment in *source*.
+
+    Returns the well-formed suppressions plus findings for malformed ones
+    (missing reason, unparsable syntax, or an unknown rule id).
+    """
+    known = set(known_rules)
+    suppressions: list[Suppression] = []
+    findings: list[Finding] = []
+    for lineno in sorted(source.comments):
+        comment = source.comments[lineno]
+        if not _ALLOW_MARKER.search(comment):
+            continue
+        match = _ALLOW_COMMENT.search(comment)
+        if not match:
+            findings.append(
+                Finding(
+                    rule=MALFORMED_SUPPRESSION,
+                    path=source.relative,
+                    line=lineno,
+                    message=(
+                        "malformed allow comment; use "
+                        "'# repro: allow(<rule-id>) — <reason>' "
+                        "(the reason is mandatory)"
+                    ),
+                )
+            )
+            continue
+        rules = tuple(part.strip() for part in match.group("rules").split(","))
+        unknown = [rule for rule in rules if rule not in known]
+        if unknown:
+            findings.append(
+                Finding(
+                    rule=MALFORMED_SUPPRESSION,
+                    path=source.relative,
+                    line=lineno,
+                    message=(
+                        f"allow comment names unknown rule(s) {', '.join(unknown)}; "
+                        "see `python -m repro.checks --list-rules`"
+                    ),
+                )
+            )
+            continue
+        suppressions.append(
+            Suppression(
+                path=source.relative,
+                line=lineno,
+                rules=rules,
+                reason=match.group("reason").strip(),
+            )
+        )
+    return suppressions, findings
+
+
+def apply_suppressions(
+    findings: list[Finding],
+    suppressions: list[Suppression],
+    active_rules: set[str] | None = None,
+) -> tuple[list[Finding], int]:
+    """Drop findings covered by an allow comment; flag stale allows.
+
+    Returns the surviving findings (including one ``checks-unused-suppression``
+    per allow that matched nothing) and the number of findings suppressed.
+    *active_rules* limits the staleness check to allows whose rules all ran
+    this invocation — a ``--rule`` subset must not flag allows it never gave
+    a chance to match.
+    """
+    by_site: dict[tuple[str, int], list[Suppression]] = {}
+    for suppression in suppressions:
+        # An allow covers its own line and the line below it (standalone
+        # comment directly above the flagged statement).
+        by_site.setdefault((suppression.path, suppression.line), []).append(suppression)
+        by_site.setdefault((suppression.path, suppression.line + 1), []).append(suppression)
+
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        matched = False
+        for suppression in by_site.get((finding.path, finding.line), []):
+            if finding.rule in suppression.rules:
+                suppression.used = True
+                matched = True
+        if matched:
+            suppressed += 1
+        else:
+            kept.append(finding)
+
+    for suppression in suppressions:
+        if active_rules is not None and not set(suppression.rules) <= active_rules:
+            continue
+        if not suppression.used:
+            kept.append(
+                Finding(
+                    rule=UNUSED_SUPPRESSION,
+                    path=suppression.path,
+                    line=suppression.line,
+                    message=(
+                        f"allow({', '.join(suppression.rules)}) suppresses nothing "
+                        "on this or the next line; delete the stale comment"
+                    ),
+                )
+            )
+    return kept, suppressed

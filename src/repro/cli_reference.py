@@ -42,6 +42,7 @@ PARSER_BUILDERS: dict[str, str] = {
     "repro.analysis.hardware_cost": "repro.analysis.hardware_cost:build_parser",
     "repro.analysis.sensitivity": "repro.analysis.sensitivity:build_parser",
     "repro.bench": "repro.bench.cli:build_parser",
+    "repro.checks": "repro.checks.cli:build_parser",
     "repro.cli_reference": "repro.cli_reference:build_parser",
     "repro.engine": "repro.engine.cli:build_parser",
     "repro.scenarios": "repro.scenarios.cli:build_parser",

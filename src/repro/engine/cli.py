@@ -67,8 +67,7 @@ def _inspect(directory: Path) -> dict:
         except ValueError:
             key = "invalid"
         versions[key] = versions.get(key, 0) + 1
-    for _ in directory.glob(".tmp-*"):
-        temp_files += 1
+    temp_files += sum(1 for _ in directory.glob(".tmp-*"))
     return {
         "directory": str(directory),
         "entries": entries,

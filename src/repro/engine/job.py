@@ -43,6 +43,14 @@ DEFAULT_TRACE_SEED = 1234
 #: caches from older code are invalidated.  Machine-configuration changes
 #: (timing tables, spec fields) need no bump: the fingerprint hashes the
 #: fully resolved :class:`MachineSpec`, so those invalidate automatically.
+#:
+#: Schema changes are *enforced* to bump: the ``schema-guard`` rule of
+#: ``python -m repro.checks`` compares this module's introspected
+#: :class:`SimulationJob` field/payload structure (plus the ``RunResult``
+#: store schema) against the committed snapshot in
+#: ``src/repro/checks/snapshots/fingerprint_schema.json`` and fails CI when
+#: either changes under an unchanged version.  After a deliberate bump, run
+#: ``python -m repro.checks --update-snapshots`` and commit the result.
 FINGERPRINT_VERSION = 5  # v5: fast-path observability counters in RunResult
 
 

@@ -225,7 +225,7 @@ class WorkloadProfile:
         # Structural fields (block_size, code layout, window) are not phase
         # overridable, so ``__post_init__`` has already validated them on
         # every construction path; only the dynamic set needs re-checking.
-        base = {name: getattr(self, name) for name in PHASE_OVERRIDABLE_FIELDS}
+        base = {name: getattr(self, name) for name in sorted(PHASE_OVERRIDABLE_FIELDS)}
         self._validate_dynamic_params(base, context=f"profile {self.name!r}")
         for index, phase in enumerate(self.phases):
             effective = dict(base)

@@ -4,8 +4,10 @@ The hot-path optimisation work (edge scheduling, fast-forward, precomputed
 dispatch tables, trace memoisation) must be *bit-identical*: the digest of a
 ``RunResult`` for a fixed (workload, machine, seed, window) must never change
 unless the simulator's modelling intentionally changes.  This module defines
-the representative job set and the digest function; the recorded golden
-values live in ``tests/test_golden_values.py``.
+the representative job set; the digest functions and the field partition
+behind them live in :mod:`repro.analysis.digests` (re-exported here), where
+``python -m repro.checks`` audits them.  The recorded golden values live in
+``tests/test_golden_values.py``.
 
 Run as a script to print the current digests::
 
@@ -14,63 +16,26 @@ Run as a script to print the current digests::
 
 from __future__ import annotations
 
-import hashlib
-import json
-
-from repro.energy import energy_report
+from repro.analysis.digests import (
+    FAST_PATH_OBSERVABILITY_FIELDS,
+    TIMING_DIGEST_FIELDS,
+    energy_digest,
+    result_digest,
+)
 from repro.engine import SimulationJob, SpecKind, run_job
 from repro.workloads import get_workload
 
-#: The RunResult fields that existed before the energy-accounting subsystem.
-#: Timing digests hash exactly this serialisation, so adding new
-#: (observation-only) activity fields can never move a pinned timing digest —
-#: only a change to simulated *behaviour* can.
-TIMING_DIGEST_FIELDS = (
-    "workload",
-    "machine",
-    "style",
-    "committed_instructions",
-    "execution_time_ps",
-    "domain_cycles",
-    "final_frequencies_ghz",
-    "branch_predictions",
-    "branch_mispredictions",
-    "icache_accesses",
-    "icache_b_hits",
-    "icache_misses",
-    "loads",
-    "stores",
-    "l1d_hits_a",
-    "l1d_hits_b",
-    "l1d_misses",
-    "l2_hits_a",
-    "l2_hits_b",
-    "l2_misses",
-    "memory_accesses",
-    "loads_forwarded",
-    "sync_transfers",
-    "sync_penalties",
-    "fetch_stall_cycles",
-    "branch_stall_cycles",
-    "int_queue_average_occupancy",
-    "fp_queue_average_occupancy",
-    "configuration_changes",
-)
-
-#: Observation-only counters describing how a run was *simulated* (compiled
-#: trace columns, horizon scheduling, fast-forward), not what the machine
-#: did.  They vary with the fast-path knobs while the simulated behaviour is
-#: bit-identical, so they are excluded from the energy digest exactly as the
-#: timing fields are (and were never part of the timing digest).
-FAST_PATH_OBSERVABILITY_FIELDS = frozenset(
-    {
-        "fast_forward_invocations",
-        "fast_forward_cycles",
-        "steady_stretches_skipped",
-        "horizon_skipped_edges",
-        "compiled_trace_cache_hits",
-    }
-)
+__all__ = [
+    "ENERGY_GOLDEN_DIGESTS",
+    "ENERGY_GOLDEN_JOBS",
+    "FAST_PATH_OBSERVABILITY_FIELDS",
+    "TIMING_DIGEST_FIELDS",
+    "compute_digests",
+    "compute_energy_digests",
+    "energy_digest",
+    "golden_jobs",
+    "result_digest",
+]
 
 
 def golden_jobs() -> dict[str, SimulationJob]:
@@ -135,44 +100,6 @@ def golden_jobs() -> dict[str, SimulationJob]:
             sync_window_fraction=0.45,
         ),
     }
-
-
-def result_digest(result) -> str:
-    """Stable sha256 of a RunResult's timing content.
-
-    Hashes the serialisation of :data:`TIMING_DIGEST_FIELDS` — byte-identical
-    to the full ``to_dict`` serialisation of the pre-energy schema, so every
-    digest recorded before the energy subsystem remains directly comparable.
-    """
-    data = result.to_dict()
-    payload = json.dumps(
-        {name: data[name] for name in TIMING_DIGEST_FIELDS},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-def energy_digest(result) -> str:
-    """Stable sha256 of a run's activity counters and energy breakdown.
-
-    Covers the new activity/structure fields of the ``RunResult`` *and* the
-    derived :class:`~repro.energy.EnergyReport`, so both the counters and
-    the energy model's arithmetic are pinned.
-    """
-    data = result.to_dict()
-    activity = {
-        name: value
-        for name, value in data.items()
-        if name not in TIMING_DIGEST_FIELDS
-        and name not in FAST_PATH_OBSERVABILITY_FIELDS
-    }
-    payload = json.dumps(
-        {"activity": activity, "energy": energy_report(result).to_dict()},
-        sort_keys=True,
-        separators=(",", ":"),
-    )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 #: Pinned energy digests of representative golden jobs, one per machine
