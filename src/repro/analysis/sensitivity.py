@@ -58,6 +58,7 @@ from repro.engine import (
     default_control_params,
     make_engine,
 )
+from repro.obs.logging import add_logging_arguments, configure_logging
 from repro.workloads.characteristics import WorkloadProfile
 
 __all__ = [
@@ -463,6 +464,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.analysis.sensitivity",
         description="Sweep the timing-uncertainty knobs and report Figure 6 deltas.",
     )
+    add_logging_arguments(parser)
     parser.add_argument(
         "--workloads",
         nargs="+",
@@ -537,6 +539,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     from repro.workloads import get_workload
 
     args = _parse_args(argv)
+    configure_logging(args)
     profiles = [get_workload(name) for name in args.workloads]
     engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
 

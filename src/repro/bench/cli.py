@@ -34,6 +34,7 @@ from repro.bench.baseline import (
 from repro.bench.recording import append_entry, bench_file_for_suite, default_output_dir
 from repro.bench.schema import BenchEntry
 from repro.bench.suites import SUITES, run_suite
+from repro.obs.logging import add_logging_arguments, configure_logging
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -42,6 +43,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.bench",
         description="Run the repository's benchmark suites and check for regressions.",
     )
+    add_logging_arguments(parser)
     parser.add_argument(
         "--suite",
         action="append",
@@ -145,6 +147,7 @@ def _resolve_suites(selected: list[str] | None) -> list[str]:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _parse_args(argv)
+    configure_logging(args)
     if args.tolerance < 0:
         print("error: --tolerance must be non-negative", file=sys.stderr)
         return 2

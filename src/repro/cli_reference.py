@@ -45,6 +45,7 @@ PARSER_BUILDERS: dict[str, str] = {
     "repro.checks": "repro.checks.cli:build_parser",
     "repro.cli_reference": "repro.cli_reference:build_parser",
     "repro.engine": "repro.engine.cli:build_parser",
+    "repro.obs": "repro.obs.cli:build_parser",
     "repro.scenarios": "repro.scenarios.cli:build_parser",
 }
 

@@ -37,12 +37,26 @@ class CacheLevel:
 
 @dataclass(frozen=True, slots=True)
 class CacheControllerDecision:
-    """Result of one interval evaluation."""
+    """Result of one interval evaluation.
+
+    The trailing fields are pure diagnostics for the telemetry layer
+    (:mod:`repro.obs`): ``raw_best_index`` is the cost-minimal configuration
+    *before* hysteresis/streak damping, ``margin`` the hysteresis margin that
+    applied, and ``suppressed_by`` names the mechanism (``"hysteresis"`` or
+    ``"streak"``, empty when the raw winner was taken) that kept the
+    controller on its current configuration.  They never influence the
+    selection itself.
+    """
 
     best_index: int
     previous_index: int
     costs_ps: tuple[float, ...]
     interval_instructions: int
+    raw_best_index: int = -1
+    margin: float = 0.0
+    pending_candidate: int | None = None
+    pending_count: int = 0
+    suppressed_by: str = ""
 
     @property
     def changed(self) -> bool:
@@ -126,6 +140,9 @@ class PhaseAdaptiveCacheController:
             for index in range(len(self.frequencies_ghz))
         )
         best_index = min(range(len(costs)), key=lambda index: (costs[index], index))
+        raw_best_index = best_index
+        margin = 0.0
+        suppressed_by = ""
         # A change pays a PLL re-lock, so the winner must beat the current
         # configuration by the hysteresis margin, and must keep winning for
         # ``consecutive_decisions_required`` intervals, to displace it.
@@ -134,6 +151,7 @@ class PhaseAdaptiveCacheController:
             margin = self.hysteresis if best_index > self.current_index else 0.02
             if costs[best_index] > current_cost * (1.0 - margin):
                 best_index = self.current_index
+                suppressed_by = "hysteresis"
         if best_index != self.current_index:
             if best_index == self._pending_candidate:
                 self._pending_count += 1
@@ -142,6 +160,7 @@ class PhaseAdaptiveCacheController:
                 self._pending_count = 1
             if self._pending_count < self.consecutive_decisions_required:
                 best_index = self.current_index
+                suppressed_by = "streak"
             else:
                 self._pending_candidate = None
                 self._pending_count = 0
@@ -153,6 +172,11 @@ class PhaseAdaptiveCacheController:
             previous_index=self.current_index,
             costs_ps=costs,
             interval_instructions=self._instructions_in_interval,
+            raw_best_index=raw_best_index,
+            margin=margin,
+            pending_candidate=self._pending_candidate,
+            pending_count=self._pending_count,
+            suppressed_by=suppressed_by,
         )
         self.decisions.append(decision)
         self.current_index = best_index

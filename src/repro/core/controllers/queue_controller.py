@@ -31,12 +31,25 @@ TIMESTAMP_BITS: dict[int, int] = {16: 4, 32: 5, 48: 6, 64: 6}
 
 @dataclass(frozen=True, slots=True)
 class QueueControllerDecision:
-    """Result of one resize evaluation."""
+    """Result of one resize evaluation.
+
+    The trailing fields are pure diagnostics for the telemetry layer
+    (:mod:`repro.obs`): ``raw_best_size`` is the score-maximal queue size
+    *before* hysteresis/streak damping, ``margin`` the hysteresis margin that
+    applied, and ``suppressed_by`` names the damping mechanism
+    (``"hysteresis"``/``"streak"``, empty when the raw winner was taken).
+    They never influence the selection itself.
+    """
 
     best_size: int
     previous_size: int
     scores: dict[int, float]
     ilp_estimates: dict[int, float]
+    raw_best_size: int = -1
+    margin: float = 0.0
+    pending_candidate: int | None = None
+    pending_count: int = 0
+    suppressed_by: str = ""
 
     @property
     def changed(self) -> bool:
@@ -175,6 +188,9 @@ class PhaseAdaptiveQueueController:
             for size in self.queue_sizes
         }
         candidate = max(self.queue_sizes, key=lambda size: (scores[size], -size))
+        raw_best_size = candidate
+        margin = 0.0
+        suppressed_by = ""
         if candidate != self.current_size:
             # Growing the queue commits the domain to a much lower frequency,
             # so it must win by the full hysteresis margin; shrinking back
@@ -182,6 +198,7 @@ class PhaseAdaptiveQueueController:
             margin = self.hysteresis if candidate > self.current_size else 0.02
             if scores[candidate] <= scores[self.current_size] * (1.0 + margin):
                 candidate = self.current_size
+                suppressed_by = "hysteresis"
         if candidate == self.current_size:
             self._pending_candidate = None
             self._pending_count = 0
@@ -198,11 +215,17 @@ class PhaseAdaptiveQueueController:
                 self._pending_count = 0
             else:
                 best_size = self.current_size
+                suppressed_by = "streak"
         decision = QueueControllerDecision(
             best_size=best_size,
             previous_size=self.current_size,
             scores=scores,
             ilp_estimates=estimates,
+            raw_best_size=raw_best_size,
+            margin=margin,
+            pending_candidate=self._pending_candidate,
+            pending_count=self._pending_count,
+            suppressed_by=suppressed_by,
         )
         self.decisions.append(decision)
         self.current_size = best_size

@@ -41,6 +41,15 @@ from repro.isa.opcodes import (
     OpClass,
 )
 from repro.isa.registers import FP_BASE_INDEX
+from repro.obs.events import (
+    CONTROLLER_INTERVAL,
+    FAST_FORWARD,
+    FREQUENCY_CHANGE,
+    HORIZON_SKIP,
+    RECONFIGURATION,
+    SYNC_PENALTY,
+)
+from repro.obs.recorder import TraceRecorder
 from repro.pipeline.dyninst import DynInst
 from repro.pipeline.frontend import FrontEnd
 from repro.pipeline.issue_queue import IssueQueue
@@ -131,6 +140,14 @@ class MCDProcessor:
         reconfiguration event is pending so events keep firing at exactly
         the edge they would have fired at.  On by default; the flag exists
         so tests can compare both paths.
+    recorder:
+        Optional :class:`~repro.obs.recorder.TraceRecorder` receiving the
+        telemetry event stream (controller intervals, reconfigurations,
+        frequency changes, sync penalties, fast-forward/horizon activity).
+        Strictly observation-only: results are bit-identical with and
+        without a recorder, and the ``None`` default (the null object) adds
+        no work to the hot paths — every emission guard is a precomputed
+        boolean that is False.
     """
 
     def __init__(
@@ -144,6 +161,7 @@ class MCDProcessor:
         sync_window_fraction: float = DEFAULT_WINDOW_FRACTION,
         fast_forward: bool = True,
         horizon_scheduling: bool = True,
+        recorder: TraceRecorder | None = None,
     ) -> None:
         if phase_adaptive and not spec.is_adaptive:
             raise ValueError("phase-adaptive control requires an adaptive MCD spec")
@@ -268,6 +286,32 @@ class MCDProcessor:
         #: Idle execution-domain edges bulk-skipped by horizon scheduling.
         self.horizon_skipped_edges = 0
 
+        # Telemetry (observation-only).  The per-event-type booleans are
+        # precomputed so every hot-path emission guard is one local truth
+        # test; with no recorder they are all False and the disabled path
+        # performs no event work at all.
+        self.recorder = recorder
+        if recorder is not None:
+            self._trace_interval = recorder.wants(CONTROLLER_INTERVAL)
+            self._trace_reconfig = recorder.wants(RECONFIGURATION)
+            self._trace_freq = recorder.wants(FREQUENCY_CHANGE)
+            self._trace_sync = recorder.wants(SYNC_PENALTY)
+            self._trace_ff = recorder.wants(FAST_FORWARD)
+            self._trace_horizon = recorder.wants(HORIZON_SKIP)
+            if self._trace_sync:
+                # Penalties recorded inside SynchronizationModel.transfer
+                # reach the recorder through this callback; the two inlined
+                # penalty sites in _commit (which bypass transfer) emit
+                # directly under the same boolean.
+                self.sync.on_penalty = self._emit_sync_penalty
+        else:
+            self._trace_interval = False
+            self._trace_reconfig = False
+            self._trace_freq = False
+            self._trace_sync = False
+            self._trace_ff = False
+            self._trace_horizon = False
+
     # ------------------------------------------------------------------ run
 
     def run(
@@ -368,6 +412,19 @@ class MCDProcessor:
         self.fast_forward_cycles = 0
         self.steady_stretches_skipped = 0
         self.horizon_skipped_edges = 0
+
+    def _emit_sync_penalty(
+        self, time_ps: Picoseconds, producer: str, consumer: str
+    ) -> None:
+        """Trace hook: one recorded synchronisation penalty (see __init__)."""
+        assert self.recorder is not None
+        self.recorder.emit(
+            SYNC_PENALTY,
+            time_ps,
+            self.rob.total_committed,
+            producer=producer,
+            consumer=consumer,
+        )
 
     def _build_controllers(self) -> None:
         frontend = self.frontend
@@ -470,6 +527,7 @@ class MCDProcessor:
         ls_cycle = self._load_store_cycle
         fast_forward = self._fast_forward_enabled
         horizon_scheduling = self._horizon_enabled
+        trace_horizon = self._trace_horizon
         try_fast_forward = self._try_fast_forward
         int_queue = self.int_queue
         fp_queue = self.fp_queue
@@ -560,6 +618,14 @@ class MCDProcessor:
                     skipped += ls_clock.skip_edges_before(fe_next)
                 if skipped:
                     self.horizon_skipped_edges += skipped
+                    if trace_horizon:
+                        assert self.recorder is not None
+                        self.recorder.emit(
+                            HORIZON_SKIP,
+                            fe_next,
+                            rob.total_committed,
+                            edges=skipped,
+                        )
 
             edge = fe_clock.next_edge
             clock = fe_clock
@@ -699,6 +765,15 @@ class MCDProcessor:
             self.fast_forward_invocations += 1
             self.fast_forward_cycles += total_skipped
             self.steady_stretches_skipped += stretches
+            if self._trace_ff:
+                assert self.recorder is not None
+                self.recorder.emit(
+                    FAST_FORWARD,
+                    fe_clock.next_edge,
+                    self.rob.total_committed,
+                    edges=total_skipped,
+                    stretches=stretches,
+                )
 
     def _process_pending_events(self, now: Picoseconds) -> None:
         due = [event for event in self._pending_events if event[0] <= now]
@@ -753,6 +828,7 @@ class MCDProcessor:
         windows_fe = self._wake_windows(_FRONT_END_DOMAIN) if sync_enabled else None
         last_writer = self._last_writer
         phase_adaptive = self.phase_adaptive
+        trace_sync = self._trace_sync
         retired = self._retired
         committed = 0
         retire_width = self._retire_width
@@ -780,9 +856,17 @@ class MCDProcessor:
                 if completion > now:
                     if fe_clock.edge_at_or_after(completion) - completion < window:
                         sync_stats.penalties += 1
+                        if trace_sync:
+                            self._emit_sync_penalty(
+                                completion, head.exec_domain, _FRONT_END_DOMAIN
+                            )
                     break
                 if now - completion < window:
                     sync_stats.penalties += 1
+                    if trace_sync:
+                        self._emit_sync_penalty(
+                            completion, head.exec_domain, _FRONT_END_DOMAIN
+                        )
                     break
             elif completion > now:
                 break
@@ -1215,6 +1299,30 @@ class MCDProcessor:
             tracked = is_fp_op if domain is Domain.FLOATING_POINT else not is_fp_op
             if controller.observe(dest_index, source_indices, tracked=tracked):
                 decision = controller.evaluate()
+                if self._trace_interval:
+                    assert self.recorder is not None
+                    self.recorder.emit(
+                        CONTROLLER_INTERVAL,
+                        now,
+                        self.rob.total_committed,
+                        structure=controller.name,
+                        previous_size=decision.previous_size,
+                        best_size=decision.best_size,
+                        raw_best_size=decision.raw_best_size,
+                        scores={
+                            str(size): score
+                            for size, score in decision.scores.items()
+                        },
+                        ilp_estimates={
+                            str(size): estimate
+                            for size, estimate in decision.ilp_estimates.items()
+                        },
+                        margin=decision.margin,
+                        suppressed_by=decision.suppressed_by,
+                        pending_candidate=decision.pending_candidate,
+                        pending_count=decision.pending_count,
+                        changed=decision.changed,
+                    )
                 if decision.changed and domain not in self._changes_in_progress:
                     self._apply_queue_change(
                         controller, domain, queue, decision.best_size, now
@@ -1234,6 +1342,25 @@ class MCDProcessor:
             self._last_interval_duration = max(interval_duration, 1)
             decision = controller.evaluate_interval()
             domain = Domain.LOAD_STORE if structure == "dcache" else Domain.FRONT_END
+            if self._trace_interval:
+                assert self.recorder is not None
+                self.recorder.emit(
+                    CONTROLLER_INTERVAL,
+                    now,
+                    self.rob.total_committed,
+                    structure=structure,
+                    previous_index=decision.previous_index,
+                    best_index=decision.best_index,
+                    raw_best_index=decision.raw_best_index,
+                    costs_ps=list(decision.costs_ps),
+                    margin=decision.margin,
+                    suppressed_by=decision.suppressed_by,
+                    pending_candidate=decision.pending_candidate,
+                    pending_count=decision.pending_count,
+                    interval_instructions=decision.interval_instructions,
+                    interval_duration_ps=interval_duration,
+                    changed=decision.changed,
+                )
             if decision.changed and domain not in self._changes_in_progress:
                 self._apply_cache_change(structure, domain, decision.best_index, now)
             else:
@@ -1279,20 +1406,47 @@ class MCDProcessor:
         lock_time = self.pll.sample_lock_ps(self._last_interval_duration)
         upsizing = new_frequency < clock.frequency_ghz
         self._changes_in_progress.add(domain)
+        fire_time = now + lock_time
+        trace_freq = self._trace_freq
 
         def finish() -> None:
+            old_frequency = clock.frequency_ghz
             if upsizing:
                 apply_structure()
             clock.set_frequency(new_frequency)
             self._changes_in_progress.discard(domain)
+            if trace_freq:
+                assert self.recorder is not None
+                self.recorder.emit(
+                    FREQUENCY_CHANGE,
+                    fire_time,
+                    self.rob.total_committed,
+                    domain=domain.value,
+                    old_ghz=old_frequency,
+                    new_ghz=new_frequency,
+                )
 
         if not upsizing:
             # Downsizing: the smaller structure is safe at the old (slower)
             # frequency, so it switches immediately; the faster clock waits
             # for the PLL to re-lock.
             apply_structure()
-        self._pending_events.append((now + lock_time, finish))
+        self._pending_events.append((fire_time, finish))
         self._record_configuration(structure, domain, new_index, now)
+        if self._trace_reconfig:
+            assert self.recorder is not None
+            self.recorder.emit(
+                RECONFIGURATION,
+                now,
+                self.rob.total_committed,
+                structure=structure,
+                domain=domain.value,
+                index=new_index,
+                configuration=self._configuration_name(structure, new_index),
+                upsizing=upsizing,
+                lock_time_ps=lock_time,
+                effective_time_ps=fire_time,
+            )
 
     def _apply_queue_change(
         self,
@@ -1307,16 +1461,29 @@ class MCDProcessor:
         upsizing = new_size > queue.capacity
         lock_time = self.pll.sample_lock_ps(self._last_interval_duration or None)
         self._changes_in_progress.add(domain)
+        fire_time = now + lock_time
+        trace_freq = self._trace_freq
 
         def finish() -> None:
+            old_frequency = clock.frequency_ghz
             if upsizing:
                 queue.set_capacity(new_size)
             clock.set_frequency(new_frequency)
             self._changes_in_progress.discard(domain)
+            if trace_freq:
+                assert self.recorder is not None
+                self.recorder.emit(
+                    FREQUENCY_CHANGE,
+                    fire_time,
+                    self.rob.total_committed,
+                    domain=domain.value,
+                    old_ghz=old_frequency,
+                    new_ghz=new_frequency,
+                )
 
         if not upsizing:
             queue.set_capacity(new_size)
-        self._pending_events.append((now + lock_time, finish))
+        self._pending_events.append((fire_time, finish))
         structure = "int-queue" if domain is Domain.INTEGER else "fp-queue"
         self._configuration_changes.append(
             ConfigurationChange(
@@ -1328,6 +1495,20 @@ class MCDProcessor:
                 index=new_size,
             )
         )
+        if self._trace_reconfig:
+            assert self.recorder is not None
+            self.recorder.emit(
+                RECONFIGURATION,
+                now,
+                self.rob.total_committed,
+                structure=structure,
+                domain=domain.value,
+                index=new_size,
+                configuration=str(new_size),
+                upsizing=upsizing,
+                lock_time_ps=lock_time,
+                effective_time_ps=fire_time,
+            )
 
     # ------------------------------------------------------------- results
 

@@ -58,12 +58,15 @@ from repro.engine.job import (
     make_trace,
 )
 from repro.engine.runner import run_job, run_jobs
+from repro.obs.metrics import EngineMetrics
+from repro.obs.options import TraceOptions
 
 __all__ = [
     "CacheMergeError",
     "CacheStats",
     "CacheVersionError",
     "DEFAULT_TRACE_SEED",
+    "EngineMetrics",
     "EngineStats",
     "Executor",
     "ExperimentEngine",
@@ -77,6 +80,7 @@ __all__ = [
     "ShardSpec",
     "SimulationJob",
     "SpecKind",
+    "TraceOptions",
     "canonical_payload",
     "configure_default_engine",
     "default_control_params",

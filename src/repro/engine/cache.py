@@ -59,11 +59,27 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     stores: int = 0
+    merged_entries: int = 0
+    merge_duplicates: int = 0
 
     @property
     def hits(self) -> int:
         """Total lookups served without simulation."""
         return self.memory_hits + self.disk_hits
+
+    def describe(self) -> str:
+        """One summary line for CLI output."""
+        line = (
+            f"cache: {self.hits} hit(s) ({self.memory_hits} memory, "
+            f"{self.disk_hits} disk), {self.misses} miss(es), "
+            f"{self.stores} store(s)"
+        )
+        if self.merged_entries or self.merge_duplicates:
+            line += (
+                f", {self.merged_entries} merged entr(ies), "
+                f"{self.merge_duplicates} merge duplicate(s)"
+            )
+        return line
 
 
 @dataclass(slots=True)
@@ -332,6 +348,8 @@ class ResultCache:
                 )
             self._write_payload(destination, text)
             report.merged += 1
+        self.stats.merged_entries += report.merged
+        self.stats.merge_duplicates += report.duplicates
         return report
 
     def _sweep_stale_temp_files(self, max_age_seconds: float | None = None) -> int:

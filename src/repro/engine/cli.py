@@ -13,9 +13,12 @@ Examples::
 ``merge`` validates every source entry (JSON parse, fingerprint/file-name
 consistency, ``FINGERPRINT_VERSION`` match, result-schema round-trip)
 before copying it byte-for-byte into the destination store, refusing
-cross-version mixes and conflicting duplicates.  ``inspect`` summarises a
-store without modifying it.  See ``docs/OPERATIONS.md`` for the full
-shard / merge / resume workflows.
+cross-version mixes and conflicting duplicates; its summary ends with the
+destination cache's hit/miss/merge counters.  ``inspect`` summarises a
+store and probes every committed entry through a real :class:`ResultCache`
+— the store's committed entries are never altered, though stale temp files
+(orphaned ``.tmp-*`` older than an hour) are reaped as on any cache open.
+See ``docs/OPERATIONS.md`` for the full shard / merge / resume workflows.
 """
 
 from __future__ import annotations
@@ -28,6 +31,7 @@ from typing import Sequence
 
 from repro.engine.cache import CacheMergeError, CacheVersionError, ResultCache
 from repro.engine.job import FINGERPRINT_VERSION
+from repro.obs.logging import add_logging_arguments, configure_logging
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +40,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.engine",
         description="Maintain persistent result-cache stores (merge, inspect).",
     )
+    add_logging_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     merge_parser = subparsers.add_parser(
@@ -47,7 +52,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     inspect_parser = subparsers.add_parser(
-        "inspect", help="summarise a result-cache store without modifying it"
+        "inspect", help="summarise and validate a result-cache store"
     )
     inspect_parser.add_argument("directory", help="cache directory to inspect")
     inspect_parser.add_argument("--json", action="store_true", dest="as_json")
@@ -68,18 +73,44 @@ def _inspect(directory: Path) -> dict:
             key = "invalid"
         versions[key] = versions.get(key, 0) + 1
     temp_files += sum(1 for _ in directory.glob(".tmp-*"))
+
+    # Probe every committed entry through a real ResultCache: a valid entry
+    # answers `get` with a disk hit, a corrupt one with a miss, and a
+    # cross-version one with CacheVersionError — the same classification the
+    # engine would apply at run time, now surfaced as hit/miss counters.
+    cache = ResultCache(directory)
+    version_mismatches = 0
+    for fingerprint in cache.disk_fingerprints():
+        try:
+            cache.get(fingerprint)
+        except CacheVersionError:
+            version_mismatches += 1
     return {
         "directory": str(directory),
         "entries": entries,
         "versions": versions,
         "orphaned_temp_files": temp_files,
         "expected_version": FINGERPRINT_VERSION,
+        "servable_entries": cache.stats.disk_hits,
+        "unreadable_entries": cache.stats.misses,
+        "version_mismatches": version_mismatches,
+        "cache_stats_line": cache.stats.describe(),
+        "cache_stats": {
+            "hits": cache.stats.hits,
+            "memory_hits": cache.stats.memory_hits,
+            "disk_hits": cache.stats.disk_hits,
+            "misses": cache.stats.misses,
+            "stores": cache.stats.stores,
+            "merged_entries": cache.stats.merged_entries,
+            "merge_duplicates": cache.stats.merge_duplicates,
+        },
     }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args)
 
     if args.command == "merge":
         destination = ResultCache(args.destination)
@@ -94,6 +125,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         entries = len(destination.disk_fingerprints())
         print(f"merged {total} new entr(y/ies) into {args.destination} ({entries} total)")
+        print(destination.stats.describe())
         return 0
 
     if args.command == "inspect":
@@ -116,6 +148,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"  version {version}: {summary['versions'][version]}{marker}")
         print(f"temp files: {summary['orphaned_temp_files']}")
         print(f"this build: FINGERPRINT_VERSION {summary['expected_version']}")
+        print(
+            f"validation: {summary['servable_entries']} servable, "
+            f"{summary['unreadable_entries']} unreadable, "
+            f"{summary['version_mismatches']} version mismatch(es)"
+        )
+        print(summary["cache_stats_line"])
         return 0
 
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterator, Sequence
@@ -32,6 +33,10 @@ from repro.engine.cache import ResultCache
 from repro.engine.executors import Executor, JobRunner, SerialExecutor
 from repro.engine.job import SimulationJob
 from repro.engine.runner import run_job
+from repro.obs.logging import get_logger
+from repro.obs.metrics import EngineMetrics
+
+_LOGGER = get_logger("repro.engine")
 
 
 @dataclass(slots=True)
@@ -101,6 +106,12 @@ class ExperimentEngine:
         self.cache = cache
         self.runner = runner
         self.stats = EngineStats()
+        #: Wall-clock/latency/utilization accounting across this engine's
+        #: batches (observation-only; see :class:`repro.obs.metrics`).
+        self.metrics = EngineMetrics()
+        #: When set, ``run_all`` logs a progress line on the ``repro.engine``
+        #: logger (INFO) at most once per this many seconds.
+        self.heartbeat_seconds: float | None = None
         # One lock guards the cache and stats across run_all and the async
         # serving surface; simulations themselves run outside it.
         self._lock = threading.RLock()
@@ -142,14 +153,41 @@ class ExperimentEngine:
 
         unique_jobs = [jobs[positions[0]] for positions in pending.values()]
         stream = self._stream(unique_jobs)
+        # Metrics/heartbeat accounting is observation-only: per-result
+        # inter-arrival time stands in for job wall-clock (exact under the
+        # serial executor), arrival-since-batch-start is the queue latency.
+        heartbeat = self.heartbeat_seconds
+        batch_start = time.perf_counter()
+        last_arrival = batch_start
+        next_beat = batch_start + heartbeat if heartbeat is not None else None
+        completed = 0
         for (fingerprint, positions), result in zip(pending.items(), stream):
+            arrival = time.perf_counter()
             with self._lock:
                 self.stats.simulations += 1
+                self.metrics.record_job(arrival - last_arrival, arrival - batch_start)
                 if self.cache is not None:
                     self.cache.put(fingerprint, result)
+            last_arrival = arrival
+            completed += 1
+            if next_beat is not None and arrival >= next_beat:
+                assert heartbeat is not None
+                next_beat = arrival + heartbeat
+                _LOGGER.info(
+                    "progress: %d/%d simulation(s) done, %.1fs elapsed, last %s",
+                    completed,
+                    len(unique_jobs),
+                    arrival - batch_start,
+                    jobs[positions[0]].describe(),
+                )
             results[positions[0]] = result
             for position in positions[1:]:
                 results[position] = copy.deepcopy(result)
+        if unique_jobs:
+            with self._lock:
+                self.metrics.record_batch(
+                    time.perf_counter() - batch_start, self.executor.workers
+                )
         return results  # type: ignore[return-value]
 
     def _stream(self, jobs: Sequence[SimulationJob]) -> Iterator[RunResult]:
@@ -233,6 +271,7 @@ class ExperimentEngine:
         return self._async_pool
 
     def _run_submitted(self, fingerprint: str, job: SimulationJob, future: Future) -> None:
+        start = time.perf_counter()
         try:
             result = self.executor.run_jobs([job], self.runner)[0]
         except BaseException as error:  # noqa: BLE001 - delivered via the future
@@ -240,8 +279,12 @@ class ExperimentEngine:
                 self._inflight.pop(fingerprint, None)
             future.set_exception(error)
             return
+        elapsed = time.perf_counter() - start
         with self._lock:
             self.stats.simulations += 1
+            # An async submission is its own single-job batch: duration and
+            # queue latency coincide.
+            self.metrics.record_job(elapsed, elapsed)
             if self.cache is not None:
                 self.cache.put(fingerprint, result)
             self._inflight.pop(fingerprint, None)

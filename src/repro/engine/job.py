@@ -31,6 +31,7 @@ from repro.core.configuration import (
 )
 from repro.core.controllers.params import AdaptiveControlParams
 from repro.core.synchronization import DEFAULT_WINDOW_FRACTION
+from repro.obs.options import TraceOptions
 from repro.workloads.characteristics import WorkloadProfile
 from repro.workloads.trace_cache import cached_trace
 
@@ -51,7 +52,9 @@ DEFAULT_TRACE_SEED = 1234
 #: ``src/repro/checks/snapshots/fingerprint_schema.json`` and fails CI when
 #: either changes under an unchanged version.  After a deliberate bump, run
 #: ``python -m repro.checks --update-snapshots`` and commit the result.
-FINGERPRINT_VERSION = 5  # v5: fast-path observability counters in RunResult
+FINGERPRINT_VERSION = 6  # v6: trace field on SimulationJob (observation-only,
+# excluded from the payload — the bump records the schema change, not a
+# semantic one; results are bit-identical with and without tracing)
 
 
 def default_warmup(profile: WorkloadProfile, window: int | None = None) -> int:
@@ -164,6 +167,14 @@ class SimulationJob:
     window-scaled defaults; it therefore requires a phase-adaptive job.  All
     three knobs are part of the fingerprint, so jittered runs are cached and
     parallelised exactly like jitter-free ones.
+
+    ``trace`` attaches observation-only telemetry recording
+    (:class:`~repro.obs.options.TraceOptions`) to the run.  It is
+    deliberately **excluded** from :meth:`payload` and therefore from the
+    fingerprint: tracing never changes a result, so a traced job and its
+    untraced twin share a cache entry (which also means a cache hit skips
+    the simulation and writes no trace — drivers that must produce a trace
+    file run the job directly through :func:`~repro.engine.runner.run_job`).
     """
 
     profile: WorkloadProfile
@@ -180,6 +191,7 @@ class SimulationJob:
     jitter_fraction: float = 0.0
     sync_window_fraction: float | None = None
     control_overrides: Mapping[str, Any] | None = None
+    trace: TraceOptions | None = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.spec_kind, SpecKind):
@@ -212,6 +224,8 @@ class SimulationJob:
                     f"unknown AdaptiveControlParams fields: {sorted(unknown)}"
                 )
             object.__setattr__(self, "control_overrides", dict(self.control_overrides))
+        if self.trace is not None and not isinstance(self.trace, TraceOptions):
+            raise TypeError("trace must be a repro.obs.options.TraceOptions")
 
     # ------------------------------------------------------------ resolution
 

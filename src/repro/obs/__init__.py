@@ -1,0 +1,70 @@
+"""Telemetry and observability for the simulator and the experiment engine.
+
+Three layers, all observation-only (nothing here may influence a simulated
+result — the golden digests are pinned bit-identical with tracing on and
+off):
+
+- :mod:`repro.obs.events` / :mod:`repro.obs.recorder` — typed,
+  schema-versioned trace events from the processor's instrumentation hooks
+  (controller decisions, reconfigurations, frequency changes, sync
+  penalties, fast-forward/horizon activity), recorded through a
+  :class:`TraceRecorder` into bounded ring buffers and JSONL files.
+- :mod:`repro.obs.metrics` — :class:`EngineMetrics`: per-job wall-clock and
+  queue-latency histograms plus worker utilization, accumulated by the
+  experiment engine and surfaced in campaign/sweep summaries.
+- :mod:`repro.obs.logging` — the shared stdlib-logging setup
+  (``-v``/``-q``) every ``python -m repro.*`` CLI adopts.
+
+``python -m repro.obs`` (:mod:`repro.obs.cli`) records traces and renders
+them: ``summarize``, ``timeline`` (ASCII per-structure decision timeline)
+and ``diff``.
+
+This package ``__init__`` deliberately imports only the engine-independent
+modules: :mod:`repro.engine.job` imports :class:`TraceOptions` from here,
+so pulling :mod:`repro.obs.driver` (which imports the engine) in at package
+level would create an import cycle.
+"""
+
+from __future__ import annotations
+
+from repro.obs.events import (
+    CONTROLLER_INTERVAL,
+    EVENT_TYPES,
+    FAST_FORWARD,
+    FREQUENCY_CHANGE,
+    HORIZON_SKIP,
+    PHASE_BOUNDARY,
+    RECONFIGURATION,
+    SCHEMA_VERSION,
+    SYNC_PENALTY,
+    TraceEvent,
+    TraceSchemaError,
+)
+from repro.obs.logging import add_logging_arguments, configure_logging, get_logger
+from repro.obs.metrics import EngineMetrics, Histogram
+from repro.obs.options import TraceOptions
+from repro.obs.recorder import JsonlSink, RingBufferSink, TraceRecorder, read_trace
+
+__all__ = [
+    "CONTROLLER_INTERVAL",
+    "EVENT_TYPES",
+    "EngineMetrics",
+    "FAST_FORWARD",
+    "FREQUENCY_CHANGE",
+    "HORIZON_SKIP",
+    "Histogram",
+    "JsonlSink",
+    "PHASE_BOUNDARY",
+    "RECONFIGURATION",
+    "RingBufferSink",
+    "SCHEMA_VERSION",
+    "SYNC_PENALTY",
+    "TraceEvent",
+    "TraceOptions",
+    "TraceRecorder",
+    "TraceSchemaError",
+    "add_logging_arguments",
+    "configure_logging",
+    "get_logger",
+    "read_trace",
+]

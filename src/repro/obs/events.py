@@ -1,0 +1,126 @@
+"""Typed, schema-versioned trace events emitted by the simulator hooks.
+
+One :class:`TraceEvent` is one observation: a controller interval was
+evaluated, a reconfiguration was applied, a domain clock changed frequency,
+a synchronisation penalty was paid, the fast-forward or event-horizon
+scheduler skipped edges, or a scenario phase boundary passed.  Events are
+observation-only by construction — nothing in the simulator reads them back
+— so a traced run and an untraced run of the same job produce bit-identical
+:class:`~repro.analysis.metrics.RunResult` digests.
+
+Every event carries the simulated time (integer picoseconds), the committed
+instruction count of the measured window at emission, and a plain-data
+payload specific to its type.  ``SCHEMA_VERSION`` governs the JSONL file
+format (:mod:`repro.obs.recorder`): readers reject files written under a
+different schema instead of misparsing them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = [
+    "CONTROLLER_INTERVAL",
+    "EVENT_TYPES",
+    "FAST_FORWARD",
+    "FREQUENCY_CHANGE",
+    "HORIZON_SKIP",
+    "PHASE_BOUNDARY",
+    "RECONFIGURATION",
+    "SCHEMA_VERSION",
+    "SYNC_PENALTY",
+    "TraceEvent",
+    "TraceSchemaError",
+]
+
+#: Version of the event payloads and the JSONL container format.  Bump when
+#: an event type changes shape; readers refuse other versions.
+SCHEMA_VERSION = 1
+
+#: A phase-adaptive controller finished an adaptation interval.  Payload:
+#: ``structure``, ``kind`` ("cache"/"queue"), the per-configuration
+#: cost/score table, the raw (pre-hysteresis) winner, the applied margin,
+#: the pending-candidate streak and what — if anything — suppressed the
+#: raw winner ("hysteresis", "streak" or "").
+CONTROLLER_INTERVAL = "controller-interval"
+
+#: A controller-commanded reconfiguration was scheduled (PLL re-lock pending).
+RECONFIGURATION = "reconfiguration"
+
+#: A domain clock's frequency actually changed (the re-lock completed).
+FREQUENCY_CHANGE = "frequency-change"
+
+#: A cross-domain transfer landed in the unsafe capture window and paid the
+#: extra synchroniser cycle.
+SYNC_PENALTY = "sync-penalty"
+
+#: The quiescent-phase fast-forward batch-consumed idle edges.
+FAST_FORWARD = "fast-forward"
+
+#: Event-horizon scheduling bulk-skipped idle execution-domain edges.
+HORIZON_SKIP = "horizon-skip"
+
+#: A scenario phase-program boundary fell inside the measured window
+#: (synthesised from the :class:`~repro.scenarios.spec.ScenarioSpec` by the
+#: trace driver, not emitted by the processor).
+PHASE_BOUNDARY = "phase-boundary"
+
+EVENT_TYPES = frozenset(
+    {
+        CONTROLLER_INTERVAL,
+        RECONFIGURATION,
+        FREQUENCY_CHANGE,
+        SYNC_PENALTY,
+        FAST_FORWARD,
+        HORIZON_SKIP,
+        PHASE_BOUNDARY,
+    }
+)
+
+
+class TraceSchemaError(ValueError):
+    """A trace file or event was written under an incompatible schema."""
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One timestamped observation from a simulation run.
+
+    ``time_ps`` is simulated time (integer picoseconds; 0 for synthesised
+    events such as phase boundaries), ``committed`` the measured-window
+    instruction count when the event was emitted, and ``data`` the
+    type-specific plain-data payload (JSON-stable: strings, numbers, bools,
+    lists and string-keyed dicts only).
+    """
+
+    type: str
+    time_ps: int
+    committed: int
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown trace event type {self.type!r}; "
+                f"expected one of {sorted(EVENT_TYPES)}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form, losslessly JSON-serialisable."""
+        return {
+            "type": self.type,
+            "time_ps": self.time_ps,
+            "committed": self.committed,
+            "data": dict(self.data),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "TraceEvent":
+        """Rebuild an event from :meth:`to_dict` output."""
+        return cls(
+            type=payload["type"],
+            time_ps=int(payload["time_ps"]),
+            committed=int(payload["committed"]),
+            data=dict(payload.get("data", {})),
+        )

@@ -1,0 +1,56 @@
+"""Job-attachable trace options, strictly off the fingerprint path.
+
+:class:`TraceOptions` is the value of the optional ``trace`` field on
+:class:`~repro.engine.job.SimulationJob`.  It is deliberately *excluded*
+from the job's fingerprint payload: tracing observes a run, it never changes
+one, so a traced and an untraced job must share a fingerprint (and therefore
+a cache entry).  ``tests/test_obs.py`` pins that exclusion.
+
+This module must stay import-light (no engine, no simulator imports):
+``repro.engine.job`` imports it, and a heavier module here would create an
+import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.obs.events import EVENT_TYPES
+
+__all__ = ["TraceOptions"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceOptions:
+    """How to record a job's trace (observation-only; not fingerprinted).
+
+    ``path`` names the JSONL output file; because each traced job writes the
+    whole file, tracing is a per-job diagnostic — give concurrent traced
+    jobs distinct paths.  ``events`` restricts recording to the named event
+    types (``None`` = all), and ``sampling`` keeps every *n*-th event of a
+    type (deterministic decimation for high-volume types such as
+    ``sync-penalty``).
+    """
+
+    path: str
+    events: tuple[str, ...] | None = None
+    sampling: Mapping[str, int] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.path:
+            raise ValueError("TraceOptions.path must name the JSONL output file")
+        if self.events is not None:
+            events = tuple(self.events)
+            unknown = set(events) - EVENT_TYPES
+            if unknown:
+                raise ValueError(f"unknown trace event types: {sorted(unknown)}")
+            object.__setattr__(self, "events", events)
+        if self.sampling is not None:
+            sampling = {str(key): int(value) for key, value in self.sampling.items()}
+            unknown = set(sampling) - EVENT_TYPES
+            if unknown:
+                raise ValueError(f"unknown trace event types in sampling: {sorted(unknown)}")
+            if any(value < 1 for value in sampling.values()):
+                raise ValueError("sampling strides must be >= 1")
+            object.__setattr__(self, "sampling", sampling)

@@ -40,7 +40,8 @@ import sys
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
-from repro.engine import CacheVersionError, make_engine, parse_shard, run_shard
+from repro.engine import CacheVersionError, ExperimentEngine, make_engine, parse_shard, run_shard
+from repro.obs.logging import add_logging_arguments, configure_logging, get_logger
 from repro.scenarios.campaign import CampaignResult, campaign_jobs, run_campaign
 from repro.scenarios.library import (
     FAMILIES,
@@ -62,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.scenarios",
         description="Browse workload scenarios and run campaign matrices.",
     )
+    add_logging_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     list_parser = subparsers.add_parser("list", help="list the scenario library")
@@ -90,6 +92,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--cache-dir",
             default=None,
             help="persistent on-disk result cache directory",
+        )
+        sub.add_argument(
+            "--heartbeat",
+            nargs="?",
+            type=float,
+            const=30.0,
+            default=None,
+            metavar="SECONDS",
+            help="log an engine progress line at most every SECONDS seconds "
+            "(default 30 when the flag is given without a value)",
         )
         sub.add_argument("--json", action="store_true", dest="as_json")
 
@@ -158,8 +170,12 @@ def _scenario_table(scenarios: Sequence[ScenarioSpec]) -> str:
     )
 
 
-def _print_campaign(result: CampaignResult, *, as_json: bool) -> None:
+def _print_campaign(
+    result: CampaignResult, *, as_json: bool, engine: ExperimentEngine | None = None
+) -> None:
     if as_json:
+        # Machine-readable mode stays pure JSON (consumers parse stdout
+        # wholesale); cache/metrics accounting is a text-mode extra.
         print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
         return
     print(
@@ -169,11 +185,18 @@ def _print_campaign(result: CampaignResult, *, as_json: bool) -> None:
     )
     print()
     print(result.render())
+    if engine is not None:
+        print()
+        if engine.cache is not None:
+            print(engine.cache.stats.describe())
+        for line in engine.metrics.summary_lines():
+            print(line)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _parse_args(argv)
+    configure_logging(args)
 
     if args.command == "list":
         scenarios = [
@@ -236,6 +259,15 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     # run / matrix share the engine and campaign plumbing.
     engine = make_engine(workers=args.workers, cache_dir=args.cache_dir)
+    heartbeat = getattr(args, "heartbeat", None)
+    if heartbeat is not None:
+        if heartbeat <= 0:
+            print("error: --heartbeat must be positive", file=sys.stderr)
+            return 2
+        engine.heartbeat_seconds = heartbeat
+        # The progress line logs at INFO on repro.engine; the flag implies
+        # the user wants to see it regardless of the -v/-q level.
+        get_logger("repro.engine").setLevel("INFO")
 
     if args.command == "run":
         try:
@@ -297,7 +329,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         warmup=warmup,
         engine=engine,
     )
-    _print_campaign(result, as_json=args.as_json)
+    _print_campaign(result, as_json=args.as_json, engine=engine)
     return 0
 
 

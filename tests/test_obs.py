@@ -1,0 +1,429 @@
+"""Tests for the telemetry subsystem (:mod:`repro.obs`).
+
+The load-bearing property is at the top: tracing is observation-only, so a
+traced run and an untraced run of the same job produce *bit-identical*
+result digests — the golden values pinned in ``tests/test_golden_values.py``
+must hold with a recorder attached.  The rest covers the recorder machinery
+(ring bounds, deterministic sampling, JSONL schema round-trip), the job
+integration (fingerprint exclusion), the engine metrics accumulator, the
+shared logging setup and the ``python -m repro.obs`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+
+import pytest
+
+from golden_digests import (
+    ENERGY_GOLDEN_DIGESTS,
+    energy_digest,
+    golden_jobs,
+    result_digest,
+)
+from repro.engine import SimulationJob, TraceOptions, canonical_payload, run_job
+from repro.engine.cache import CacheStats, ResultCache
+from repro.obs.cli import main as obs_main
+from repro.obs.events import (
+    CONTROLLER_INTERVAL,
+    EVENT_TYPES,
+    HORIZON_SKIP,
+    SYNC_PENALTY,
+    TraceEvent,
+    TraceSchemaError,
+)
+from repro.obs.logging import configure_logging
+from repro.obs.metrics import EngineMetrics, Histogram
+from repro.obs.recorder import (
+    JsonlSink,
+    RingBufferSink,
+    TraceRecorder,
+    read_trace,
+    trace_header,
+)
+from repro.workloads import get_workload
+from test_golden_values import GOLDEN_DIGESTS
+
+#: Golden jobs re-run with a recorder attached: one phase-adaptive job per
+#: workload (the controller hooks fire) plus a jittered one (the sync-penalty
+#: and jittered fast-forward hooks fire).
+_TRACED_GOLDEN_JOBS = (
+    "gcc/phase_adaptive",
+    "em3d/phase_adaptive",
+    "gcc/phase_adaptive_jittered",
+)
+
+
+# ------------------------------------------------------------ bit-identity
+
+
+@pytest.mark.parametrize("name", _TRACED_GOLDEN_JOBS)
+def test_traced_run_matches_golden_timing_digest(name):
+    """A recorder observing every event type must not move a golden digest."""
+    ring = RingBufferSink(capacity=100_000)
+    recorder = TraceRecorder([ring])
+    job = golden_jobs()[name]
+    result = run_job(job, recorder=recorder)
+    assert result_digest(result) == GOLDEN_DIGESTS[name], (
+        f"tracing changed the RunResult of {name}; instrumentation must be "
+        "observation-only"
+    )
+    assert ring.events, "the traced golden job emitted no events at all"
+
+
+def test_traced_run_matches_golden_energy_digest():
+    name = "gcc/phase_adaptive"
+    recorder = TraceRecorder([RingBufferSink(capacity=100_000)])
+    result = run_job(golden_jobs()[name], recorder=recorder)
+    assert energy_digest(result) == ENERGY_GOLDEN_DIGESTS[name]
+
+
+def test_traced_and_untraced_runs_are_bit_identical(tmp_path):
+    """Same job, one run traced to JSONL, one untraced: identical digests."""
+    job = golden_jobs()["em3d/phase_adaptive"]
+    untraced = run_job(job)
+    sink = JsonlSink(tmp_path / "trace.jsonl")
+    with TraceRecorder([sink]) as recorder:
+        traced = run_job(job, recorder=recorder)
+    assert result_digest(traced) == result_digest(untraced)
+    assert energy_digest(traced) == energy_digest(untraced)
+    _, events = read_trace(tmp_path / "trace.jsonl")
+    assert events
+
+
+# ------------------------------------------------------- job integration
+
+
+def test_trace_options_do_not_change_the_fingerprint(tmp_path):
+    profile = get_workload("gzip")
+    plain = SimulationJob(profile=profile, window=800, warmup=800)
+    traced = SimulationJob(
+        profile=profile,
+        window=800,
+        warmup=800,
+        trace=TraceOptions(path=str(tmp_path / "t.jsonl")),
+    )
+    assert plain.fingerprint() == traced.fingerprint()
+    # payload() is the fingerprint input; the trace options must not appear.
+    assert plain.payload() == traced.payload()
+    assert str(tmp_path) not in json.dumps(canonical_payload(traced.payload()))
+
+
+def test_job_trace_field_rejects_non_trace_options():
+    with pytest.raises(TypeError):
+        SimulationJob(profile=get_workload("gzip"), trace="trace.jsonl")
+
+
+def test_runner_builds_recorder_from_job_trace_options(tmp_path):
+    path = tmp_path / "job.trace.jsonl"
+    job = SimulationJob(
+        profile=get_workload("gzip"),
+        window=400,
+        warmup=400,
+        phase_adaptive=True,
+        trace=TraceOptions(path=str(path)),
+    )
+    run_job(job)
+    meta, events = read_trace(path)
+    assert meta["fingerprint"] == job.fingerprint()
+    assert events, "a phase-adaptive run should emit at least one event"
+
+
+def test_trace_options_validation():
+    with pytest.raises(ValueError):
+        TraceOptions(path="")
+    with pytest.raises(ValueError):
+        TraceOptions(path="t.jsonl", events=("no-such-event",))
+    with pytest.raises(ValueError):
+        TraceOptions(path="t.jsonl", sampling={"no-such-event": 2})
+    with pytest.raises(ValueError):
+        TraceOptions(path="t.jsonl", sampling={SYNC_PENALTY: 0})
+    options = TraceOptions(
+        path="t.jsonl", events=[CONTROLLER_INTERVAL], sampling={SYNC_PENALTY: "3"}
+    )
+    assert options.events == (CONTROLLER_INTERVAL,)
+    assert options.sampling == {SYNC_PENALTY: 3}
+
+
+# ------------------------------------------------------------- recorder
+
+
+def test_ring_buffer_sink_is_bounded():
+    ring = RingBufferSink(capacity=3)
+    recorder = TraceRecorder([ring])
+    for index in range(10):
+        recorder.emit(SYNC_PENALTY, index, index, producer="integer")
+    assert len(ring) == 3
+    assert [event.time_ps for event in ring.events] == [7, 8, 9]
+    with pytest.raises(ValueError):
+        RingBufferSink(capacity=0)
+
+
+def test_recorder_type_filter_and_counters():
+    ring = RingBufferSink(capacity=100)
+    recorder = TraceRecorder([ring], event_types=[CONTROLLER_INTERVAL])
+    assert recorder.wants(CONTROLLER_INTERVAL)
+    assert not recorder.wants(SYNC_PENALTY)
+    recorder.emit(CONTROLLER_INTERVAL, 10, 1, structure="dcache")
+    recorder.emit(SYNC_PENALTY, 20, 1, producer="integer")
+    assert recorder.seen == {CONTROLLER_INTERVAL: 1}
+    assert recorder.emitted == {CONTROLLER_INTERVAL: 1}
+    assert len(ring) == 1
+    with pytest.raises(ValueError):
+        TraceRecorder([], event_types=["bogus"])
+
+
+def test_sampling_is_deterministic_and_keeps_the_first_event():
+    def emitted_times(stride):
+        ring = RingBufferSink(capacity=100)
+        recorder = TraceRecorder([ring], sampling={SYNC_PENALTY: stride})
+        for index in range(10):
+            recorder.emit(SYNC_PENALTY, index, index)
+        return [event.time_ps for event in ring.events]
+
+    # Keeps the 1st, (n+1)-th, ... event, counted in emission order.
+    assert emitted_times(3) == [0, 3, 6, 9]
+    # Identical inputs produce the identical sampled stream (no RNG/clock).
+    assert emitted_times(3) == emitted_times(3)
+    assert emitted_times(1) == list(range(10))
+    with pytest.raises(ValueError):
+        TraceRecorder([], sampling={SYNC_PENALTY: 0})
+    with pytest.raises(ValueError):
+        TraceRecorder([], sampling={"bogus": 2})
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path, meta={"target": "unit-test"})
+    recorder = TraceRecorder([sink])
+    recorder.emit(CONTROLLER_INTERVAL, 1000, 42, structure="dcache", best_index=1)
+    recorder.emit(HORIZON_SKIP, 2000, 43, edges=7)
+    recorder.close()
+    meta, events = read_trace(path)
+    assert meta == {"target": "unit-test"}
+    assert [event.type for event in events] == [CONTROLLER_INTERVAL, HORIZON_SKIP]
+    assert events[0].data == {"structure": "dcache", "best_index": 1}
+    assert events[1].time_ps == 2000 and events[1].committed == 43
+
+
+def test_read_trace_rejects_foreign_and_stale_files(tmp_path):
+    not_a_trace = tmp_path / "other.json"
+    not_a_trace.write_text('{"kind": "something-else"}\n')
+    with pytest.raises(TraceSchemaError):
+        read_trace(not_a_trace)
+
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    with pytest.raises(TraceSchemaError):
+        read_trace(empty)
+
+    stale = tmp_path / "stale.jsonl"
+    header = trace_header()
+    header["schema"] = 999
+    stale.write_text(json.dumps(header) + "\n")
+    with pytest.raises(TraceSchemaError):
+        read_trace(stale)
+
+    malformed = tmp_path / "malformed.jsonl"
+    malformed.write_text(
+        json.dumps(trace_header()) + "\n" + '{"type": "bogus-event"}\n'
+    )
+    with pytest.raises(TraceSchemaError):
+        read_trace(malformed)
+
+
+def test_trace_event_validates_its_type():
+    with pytest.raises(ValueError):
+        TraceEvent(type="bogus", time_ps=0, committed=0)
+    event = TraceEvent(type=SYNC_PENALTY, time_ps=5, committed=2, data={"a": 1})
+    assert TraceEvent.from_dict(event.to_dict()) == event
+    assert EVENT_TYPES  # the registry is non-empty and frozen
+    with pytest.raises(AttributeError):
+        event.type = CONTROLLER_INTERVAL  # frozen
+
+
+# ------------------------------------------------------------- metrics
+
+
+def test_histogram_statistics():
+    histogram = Histogram()
+    for value in (0.002, 0.02, 0.2, 2.0):
+        histogram.record(value)
+    assert histogram.count == 4
+    assert histogram.mean == pytest.approx(0.5555, rel=1e-3)
+    assert histogram.min == 0.002 and histogram.max == 2.0
+    # Bucket-resolution percentiles return a bucket's upper bound.
+    assert histogram.percentile(0.5) in (0.03, 0.1)
+    assert histogram.percentile(1.0) >= 2.0
+    with pytest.raises(ValueError):
+        histogram.percentile(0.0)
+    with pytest.raises(ValueError):
+        Histogram(bounds=(1.0, 0.5))
+    assert Histogram().percentile(0.5) == 0.0
+
+
+def test_engine_metrics_accounting():
+    metrics = EngineMetrics()
+    assert metrics.summary_lines() == [
+        "engine metrics: no executor work (all jobs cached or deduplicated)"
+    ]
+    metrics.record_job(1.0, 1.0)
+    metrics.record_job(1.0, 2.0)
+    metrics.record_batch(elapsed_seconds=2.0, workers=2)
+    assert metrics.jobs_completed == 2
+    assert metrics.batches == 1
+    assert metrics.worker_utilization == pytest.approx(0.5)
+    snapshot = metrics.to_dict()
+    assert snapshot["jobs_completed"] == 2
+    assert snapshot["job_seconds"]["count"] == 2
+    lines = metrics.summary_lines()
+    assert lines[0].startswith("engine metrics: 2 job(s) in 1 batch(es)")
+    # Utilization is clamped at 100% even if busy time over-counts capacity.
+    metrics.record_job(100.0, 0.0)
+    assert metrics.worker_utilization == 1.0
+
+
+def test_engine_populates_metrics():
+    from repro.engine import ExperimentEngine, ResultCache, SerialExecutor
+
+    engine = ExperimentEngine(SerialExecutor(), ResultCache())
+    job = SimulationJob(profile=get_workload("gzip"), window=400, warmup=400)
+    engine.run_all([job])
+    assert engine.metrics.jobs_completed == 1
+    assert engine.metrics.batches == 1
+    # A warm re-run is served from the cache: no new executor work.
+    engine.run_all([job])
+    assert engine.metrics.jobs_completed == 1
+    assert engine.cache.stats.hits >= 1
+
+
+# -------------------------------------------------------------- cache stats
+
+
+def test_cache_stats_describe_includes_merge_counters(tmp_path):
+    stats = CacheStats(memory_hits=2, disk_hits=1, misses=3, stores=4)
+    line = stats.describe()
+    assert "3 hit(s) (2 memory, 1 disk)" in line
+    assert "merged" not in line
+    stats.merged_entries = 5
+    assert "5 merged entr(ies)" in stats.describe()
+
+    source = ResultCache(tmp_path / "src")
+    destination = ResultCache(tmp_path / "dst")
+    job = SimulationJob(profile=get_workload("gzip"), window=400, warmup=400)
+    source.put(job.fingerprint(), run_job(job))
+    destination.merge(tmp_path / "src")
+    destination.merge(tmp_path / "src")  # second pass: all duplicates
+    assert destination.stats.merged_entries == 1
+    assert destination.stats.merge_duplicates == 1
+
+
+# ------------------------------------------------------------------ logging
+
+
+def test_configure_logging_is_idempotent():
+    logger = configure_logging(verbosity=0)
+    configure_logging(verbosity=0)
+    flagged = [
+        handler
+        for handler in logger.handlers
+        if getattr(handler, "_repro_obs_handler", False)
+    ]
+    assert len(flagged) == 1
+    assert logger.level == logging.WARNING
+    assert configure_logging(verbosity=1).level == logging.INFO
+    assert configure_logging(verbosity=2).level == logging.DEBUG
+    assert configure_logging(verbosity=-1).level == logging.ERROR
+    assert configure_logging(verbosity=99).level == logging.DEBUG
+    configure_logging(verbosity=0)  # restore the default for other tests
+
+
+# ---------------------------------------------------------------------- CLI
+
+
+@pytest.fixture(scope="module")
+def cli_trace(tmp_path_factory):
+    """One small traced CLI run shared by the rendering smoke tests."""
+    path = tmp_path_factory.mktemp("obs") / "gzip.trace.jsonl"
+    code = obs_main(
+        [
+            "trace",
+            "gzip",
+            "--window",
+            "400",
+            "--warmup",
+            "400",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+def test_cli_trace_writes_a_readable_trace(cli_trace, capsys):
+    meta, events = read_trace(cli_trace)
+    assert meta["target"] == "gzip"
+    assert meta["kind"] == "workload"
+    assert events
+
+
+def test_cli_summarize(cli_trace, capsys):
+    assert obs_main(["summarize", str(cli_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "event(s):" in out
+    assert obs_main(["summarize", str(cli_trace), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["meta"]["target"] == "gzip"
+    assert payload["event_counts"]
+
+
+def test_cli_timeline(cli_trace, capsys):
+    assert obs_main(["timeline", str(cli_trace)]) == 0
+    out = capsys.readouterr().out
+    assert "one column per controller interval" in out
+    with pytest.raises(SystemExit):
+        obs_main(["timeline", str(cli_trace), "--structure", "nope"])
+
+
+def test_cli_diff(cli_trace, tmp_path, capsys):
+    assert obs_main(["diff", str(cli_trace), str(cli_trace)]) == 0
+    assert "traces are equivalent" in capsys.readouterr().out
+
+    other = tmp_path / "other.jsonl"
+    sink = JsonlSink(other, meta={"target": "synthetic"})
+    with TraceRecorder([sink]) as recorder:
+        recorder.emit(SYNC_PENALTY, 1, 1, producer="integer")
+    assert obs_main(["diff", str(cli_trace), str(other)]) == 1
+
+
+def test_cli_trace_sampling_and_event_filter(tmp_path, capsys):
+    path = tmp_path / "sampled.jsonl"
+    code = obs_main(
+        [
+            "trace",
+            "gzip",
+            "--window",
+            "400",
+            "--warmup",
+            "400",
+            "--out",
+            str(path),
+            "--events",
+            f"{CONTROLLER_INTERVAL},{HORIZON_SKIP}",
+            "--sample",
+            f"{HORIZON_SKIP}=10",
+        ]
+    )
+    assert code == 0
+    _, events = read_trace(path)
+    types = {event.type for event in events}
+    assert types <= {CONTROLLER_INTERVAL, HORIZON_SKIP}
+    out = capsys.readouterr().out
+    assert "seen" in out  # the sampled type reports "N (of M seen)"
+
+
+def test_cli_trace_rejects_unknown_target(capsys):
+    with pytest.raises(KeyError):
+        obs_main(["trace", "no-such-target", "--quick", "--out", "/tmp/x.jsonl"])
