@@ -8,12 +8,17 @@ Examples::
     python -m repro.bench --quick --check       # fail (exit 1) on regression
     python -m repro.bench --quick --update-baseline
     python -m repro.bench --suite sweep --quick --profile   # cProfile a suite
+    python -m repro.bench history                 # recorded trajectory tables
+    python -m repro.bench history --markdown      # ...for EXPERIMENTS.md
 
 Every invocation appends one entry per suite to ``BENCH_<suite>.json`` at
 the repository root (disable with ``--no-record``).  ``--check`` compares the
 fresh entries against the committed baseline (``benchmarks/baseline.json``):
 raw seconds when the environment fingerprint matches the baseline's, the
-calibration-normalised metric otherwise.
+calibration-normalised metric otherwise.  ``history`` renders the committed
+BENCH files as per-experiment trajectory tables (normalised seconds, deltas
+against the previous like-for-like entry, regression flags) instead of
+running anything.
 """
 
 from __future__ import annotations
@@ -44,6 +49,32 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run the repository's benchmark suites and check for regressions.",
     )
     add_logging_arguments(parser)
+    parser.add_argument(
+        "command",
+        nargs="?",
+        choices=("run", "history"),
+        default="run",
+        help="'run' (default) times the suites; 'history' renders the "
+        "recorded BENCH_*.json trajectory tables without running anything",
+    )
+    parser.add_argument(
+        "--markdown",
+        action="store_true",
+        help="with 'history', emit Markdown tables (for EXPERIMENTS.md)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with 'history', keep only the newest N rows per experiment",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="with 'history', machine-readable output",
+    )
     parser.add_argument(
         "--suite",
         action="append",
@@ -153,6 +184,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 2
     suites = _resolve_suites(args.suite)
     output_dir = args.output_dir if args.output_dir is not None else default_output_dir()
+
+    if args.command == "history":
+        # Imported lazily: the analysis layer is pure file reading and the
+        # run path never needs it.
+        import json
+
+        from repro.bench.history import load_trajectories, render_history
+
+        try:
+            trajectories = load_trajectories(
+                output_dir, tolerance=args.tolerance, limit=args.limit
+            )
+        except FileNotFoundError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        if args.as_json:
+            payload = {
+                experiment: [row.to_dict() for row in rows]
+                for experiment, rows in sorted(trajectories.items())
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(render_history(trajectories, markdown=args.markdown), end="")
+        return 0
+
     baseline_path = (
         args.baseline if args.baseline is not None else output_dir / "benchmarks" / "baseline.json"
     )

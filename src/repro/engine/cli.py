@@ -33,6 +33,8 @@ from repro.engine.cache import CacheMergeError, CacheVersionError, ResultCache
 from repro.engine.job import FINGERPRINT_VERSION
 from repro.obs.logging import add_logging_arguments, configure_logging
 
+__all__ = ["build_parser", "inspect_store", "main"]
+
 
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro.engine`` argument parser."""
@@ -59,7 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _inspect(directory: Path) -> dict:
+def inspect_store(directory: Path) -> dict:
+    """Machine-readable store health summary (the ``inspect --json`` payload).
+
+    Public so operators' scripts and ``python -m repro.obs report --store``
+    can consume store health without screen-scraping the text table.
+    """
     entries = 0
     versions: dict[str, int] = {}
     temp_files = 0
@@ -133,7 +140,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         if not directory.is_dir():
             print(f"error: {directory} is not a directory", file=sys.stderr)
             return 2
-        summary = _inspect(directory)
+        summary = inspect_store(directory)
         if args.as_json:
             print(json.dumps(summary, indent=2, sort_keys=True))
             return 0

@@ -22,6 +22,8 @@ the submit/poll/result serving surface.
 from __future__ import annotations
 
 import copy
+import itertools
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -33,10 +35,16 @@ from repro.engine.cache import ResultCache
 from repro.engine.executors import Executor, JobRunner, SerialExecutor
 from repro.engine.job import SimulationJob
 from repro.engine.runner import run_job
+from repro.obs.ledger import LedgerWriter, wallclock_timestamp
 from repro.obs.logging import get_logger
 from repro.obs.metrics import EngineMetrics
 
 _LOGGER = get_logger("repro.engine")
+
+#: Distinguishes engine instances within and across processes in ledger
+#: records: metrics snapshots are cumulative per engine, so readers need to
+#: know where one engine's history ends and a re-run's begins.
+_ENGINE_SESSION_COUNTER = itertools.count()
 
 
 @dataclass(slots=True)
@@ -112,6 +120,12 @@ class ExperimentEngine:
         #: When set, ``run_all`` logs a progress line on the ``repro.engine``
         #: logger (INFO) at most once per this many seconds.
         self.heartbeat_seconds: float | None = None
+        #: When set, every ``run_all`` batch and every asynchronous
+        #: ``submit`` simulation appends an accounting record (see
+        #: :mod:`repro.obs.ledger`).  Observability-only: nothing here flows
+        #: into fingerprints, results or digests.
+        self.ledger: LedgerWriter | None = None
+        self._engine_session = f"{os.getpid()}.{next(_ENGINE_SESSION_COUNTER)}"
         # One lock guards the cache and stats across run_all and the async
         # serving surface; simulations themselves run outside it.
         self._lock = threading.RLock()
@@ -136,6 +150,8 @@ class ExperimentEngine:
         jobs = list(jobs)
         results: list[RunResult | None] = [None] * len(jobs)
         pending: dict[str, list[int]] = {}
+        served: list[str] = []
+        duplicates = 0
         with self._lock:
             self.stats.jobs_submitted += len(jobs)
             for position, job in enumerate(jobs):
@@ -143,11 +159,13 @@ class ExperimentEngine:
                 if fingerprint in pending:
                     pending[fingerprint].append(position)
                     self.stats.batch_duplicates += 1
+                    duplicates += 1
                     continue
                 cached = self.cache.get(fingerprint) if self.cache is not None else None
                 if cached is not None:
                     results[position] = cached
                     self.stats.cache_hits += 1
+                    served.append(fingerprint)
                 else:
                     pending[fingerprint] = [position]
 
@@ -161,11 +179,13 @@ class ExperimentEngine:
         last_arrival = batch_start
         next_beat = batch_start + heartbeat if heartbeat is not None else None
         completed = 0
+        job_seconds: dict[str, float] = {}
         for (fingerprint, positions), result in zip(pending.items(), stream):
             arrival = time.perf_counter()
             with self._lock:
                 self.stats.simulations += 1
                 self.metrics.record_job(arrival - last_arrival, arrival - batch_start)
+                job_seconds[fingerprint] = arrival - last_arrival
                 if self.cache is not None:
                     self.cache.put(fingerprint, result)
             last_arrival = arrival
@@ -188,7 +208,53 @@ class ExperimentEngine:
                 self.metrics.record_batch(
                     time.perf_counter() - batch_start, self.executor.workers
                 )
+        if self.ledger is not None and jobs:
+            with self._lock:
+                self.ledger.append(
+                    self._ledger_record(
+                        "batch",
+                        jobs=len(jobs),
+                        duplicates=duplicates,
+                        cached=sorted(served),
+                        simulated=list(pending),
+                        job_seconds={
+                            fp: round(seconds, 6) for fp, seconds in job_seconds.items()
+                        },
+                        batch_seconds=round(time.perf_counter() - batch_start, 6),
+                    )
+                )
         return results  # type: ignore[return-value]
+
+    def _ledger_record(self, kind: str, **payload: object) -> dict[str, object]:
+        """One ledger record: the payload plus engine-wide accounting.
+
+        Every record carries the executor mode, shard-independent engine
+        session token, the cache's hit/miss/merge counters and the engine's
+        cumulative :class:`EngineMetrics` snapshot — enough for
+        ``python -m repro.obs ledger summarize`` to rebuild the campaign
+        view with no process left alive.  Called with ``self._lock`` held.
+        """
+        cache_stats = None
+        if self.cache is not None:
+            stats = self.cache.stats
+            cache_stats = {
+                "memory_hits": stats.memory_hits,
+                "disk_hits": stats.disk_hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "merged_entries": stats.merged_entries,
+                "merge_duplicates": stats.merge_duplicates,
+            }
+        return {
+            "record": kind,
+            "t": round(wallclock_timestamp(), 3),
+            "engine_session": self._engine_session,
+            "executor": type(self.executor).__name__.removesuffix("Executor").lower(),
+            "workers": self.executor.workers,
+            "cache": cache_stats,
+            "metrics": self.metrics.to_dict(),
+            **payload,
+        }
 
     def _stream(self, jobs: Sequence[SimulationJob]) -> Iterator[RunResult]:
         """Results of *jobs* in order, as they finish."""
@@ -285,7 +351,20 @@ class ExperimentEngine:
             # An async submission is its own single-job batch: duration and
             # queue latency coincide.
             self.metrics.record_job(elapsed, elapsed)
+            self.metrics.record_batch(elapsed, 1)
             if self.cache is not None:
                 self.cache.put(fingerprint, result)
             self._inflight.pop(fingerprint, None)
+            if self.ledger is not None:
+                self.ledger.append(
+                    self._ledger_record(
+                        "submit",
+                        jobs=1,
+                        duplicates=0,
+                        cached=[],
+                        simulated=[fingerprint],
+                        job_seconds={fingerprint: round(elapsed, 6)},
+                        batch_seconds=round(elapsed, 6),
+                    )
+                )
         future.set_result(result)

@@ -119,14 +119,21 @@ class ShardReport:
     jobs_in_shard: int
     simulations: int
     cache_hits: int
+    #: The worker's run-ledger file (see :mod:`repro.obs.ledger`), when the
+    #: engine was given one — the durable record an operator merges and
+    #: queries after the worker process is gone.
+    ledger_path: str | None = None
 
     def describe(self) -> str:
         """One summary line for worker logs."""
-        return (
+        line = (
             f"shard {self.shard.describe()}: {self.jobs_in_shard} of "
             f"{self.jobs_unique} unique job(s) ({self.jobs_planned} planned), "
             f"{self.simulations} simulation(s), {self.cache_hits} cache hit(s)"
         )
+        if self.ledger_path is not None:
+            line += f", ledger {self.ledger_path}"
+        return line
 
     def to_dict(self) -> dict:
         """Plain-data form (for ``--json`` worker output)."""
@@ -138,6 +145,7 @@ class ShardReport:
             "jobs_in_shard": self.jobs_in_shard,
             "simulations": self.simulations,
             "cache_hits": self.cache_hits,
+            "ledger_path": self.ledger_path,
         }
 
 
@@ -159,6 +167,7 @@ def run_shard(
     before_simulations = engine.stats.simulations
     before_hits = engine.stats.cache_hits
     engine.run_all(selected)
+    ledger = engine.ledger
     return ShardReport(
         shard=shard,
         jobs_planned=len(jobs),
@@ -166,4 +175,5 @@ def run_shard(
         jobs_in_shard=len(selected),
         simulations=engine.stats.simulations - before_simulations,
         cache_hits=engine.stats.cache_hits - before_hits,
+        ledger_path=str(ledger.path) if ledger is not None else None,
     )

@@ -11,13 +11,21 @@ off):
   :class:`TraceRecorder` into bounded ring buffers and JSONL files.
 - :mod:`repro.obs.metrics` — :class:`EngineMetrics`: per-job wall-clock and
   queue-latency histograms plus worker utilization, accumulated by the
-  experiment engine and surfaced in campaign/sweep summaries.
+  experiment engine and surfaced in campaign/sweep summaries; snapshots
+  round-trip through ``to_dict``/``from_dict`` and fuse with ``merge``.
+- :mod:`repro.obs.ledger` — the persistent, append-only run ledger
+  (JSONL): durable per-batch campaign accounting that shard workers write
+  and ``ledger merge``/``summarize`` fuse into one campaign view.
+- :mod:`repro.obs.export` — Prometheus-textfile/JSON metrics snapshot
+  writers for long-running ``submit()`` servers and fabric workers.
+- :mod:`repro.obs.report` — the rendered campaign report (throughput,
+  histograms, per-shard balance, store health, reconfiguration totals).
 - :mod:`repro.obs.logging` — the shared stdlib-logging setup
   (``-v``/``-q``) every ``python -m repro.*`` CLI adopts.
 
 ``python -m repro.obs`` (:mod:`repro.obs.cli`) records traces and renders
-them: ``summarize``, ``timeline`` (ASCII per-structure decision timeline)
-and ``diff``.
+them (``summarize``, ``timeline``, ``diff``) and operates on run ledgers
+(``ledger merge``, ``ledger summarize``, ``report``).
 
 This package ``__init__`` deliberately imports only the engine-independent
 modules: :mod:`repro.engine.job` imports :class:`TraceOptions` from here,
@@ -40,6 +48,17 @@ from repro.obs.events import (
     TraceEvent,
     TraceSchemaError,
 )
+from repro.obs.export import prometheus_text, write_metrics_snapshot
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+    LedgerSummary,
+    LedgerWriter,
+    merge_ledgers,
+    open_ledger,
+    read_ledger,
+    summarize_ledgers,
+)
 from repro.obs.logging import add_logging_arguments, configure_logging, get_logger
 from repro.obs.metrics import EngineMetrics, Histogram
 from repro.obs.options import TraceOptions
@@ -54,6 +73,10 @@ __all__ = [
     "HORIZON_SKIP",
     "Histogram",
     "JsonlSink",
+    "LEDGER_SCHEMA_VERSION",
+    "LedgerSchemaError",
+    "LedgerSummary",
+    "LedgerWriter",
     "PHASE_BOUNDARY",
     "RECONFIGURATION",
     "RingBufferSink",
@@ -66,5 +89,11 @@ __all__ = [
     "add_logging_arguments",
     "configure_logging",
     "get_logger",
+    "merge_ledgers",
+    "open_ledger",
+    "prometheus_text",
+    "read_ledger",
     "read_trace",
+    "summarize_ledgers",
+    "write_metrics_snapshot",
 ]

@@ -1,6 +1,6 @@
-"""``python -m repro.obs`` — record and render telemetry traces.
+"""``python -m repro.obs`` — record and render telemetry traces and ledgers.
 
-Four subcommands:
+Six subcommands:
 
 ``trace``
     Run one phase-adaptive simulation of a scenario or benchmark workload
@@ -23,12 +23,26 @@ Four subcommands:
 ``diff``
     Compare two traces: per-type event counts, per-structure decision
     sequences (first divergence) and reconfiguration ledgers.
+
+``ledger``
+    Operate on persistent run ledgers (:mod:`repro.obs.ledger`):
+    ``ledger merge OUT SOURCE...`` fuses shard ledger files into one
+    campaign ledger; ``ledger summarize SOURCE...`` prints the fused
+    campaign accounting (``--json`` for the machine-readable form,
+    including the partition-independent ``equivalence_key``).
+
+``report``
+    Render the full campaign report from one or more ledgers: work
+    accounting, throughput/utilization, wall-clock and queue-latency
+    histograms, per-shard balance, plus result-store health (``--store``)
+    and reconfiguration totals joined from traces (``--traces``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import sys
 from typing import Any, Sequence
 
 from repro.obs.events import (
@@ -125,6 +139,56 @@ def build_parser() -> argparse.ArgumentParser:
     diff = sub.add_parser("diff", help="compare two trace files")
     diff.add_argument("left", help="first JSONL trace file")
     diff.add_argument("right", help="second JSONL trace file")
+
+    ledger = sub.add_parser("ledger", help="merge and summarise persistent run ledgers")
+    ledger_sub = ledger.add_subparsers(dest="ledger_command", required=True)
+    ledger_merge = ledger_sub.add_parser(
+        "merge", help="fuse shard ledger files into one campaign ledger"
+    )
+    ledger_merge.add_argument("destination", help="output ledger file")
+    ledger_merge.add_argument(
+        "sources",
+        nargs="+",
+        help="source ledger files or directories of *.ledger.jsonl",
+    )
+    ledger_summarize = ledger_sub.add_parser(
+        "summarize", help="fused campaign accounting of one or more ledgers"
+    )
+    ledger_summarize.add_argument(
+        "sources",
+        nargs="+",
+        help="ledger files or directories of *.ledger.jsonl",
+    )
+    ledger_summarize.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+
+    report = sub.add_parser(
+        "report", help="render the campaign report from run ledgers"
+    )
+    report.add_argument(
+        "sources",
+        nargs="+",
+        help="ledger files or directories of *.ledger.jsonl",
+    )
+    report.add_argument(
+        "--store",
+        default=None,
+        help="result-cache store directory to include health for",
+    )
+    report.add_argument(
+        "--traces",
+        nargs="+",
+        default=[],
+        metavar="TRACE",
+        help="telemetry trace files to join reconfiguration totals from",
+    )
+    report.add_argument(
+        "--markdown", action="store_true", help="Markdown tables instead of ASCII"
+    )
+    report.add_argument(
+        "--out", default=None, help="write the report to a file instead of stdout"
+    )
     return parser
 
 
@@ -412,6 +476,79 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_ledger(args: argparse.Namespace) -> int:
+    from repro.obs.ledger import LedgerSchemaError, merge_ledgers, summarize_ledgers
+
+    try:
+        if args.ledger_command == "merge":
+            written = merge_ledgers(args.destination, args.sources)
+            print(f"merged {written} record(s) into {args.destination}")
+            return 0
+        summary = summarize_ledgers(args.sources)
+        if args.json:
+            print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+            return 0
+        print(
+            f"{summary.ledgers} ledger(s), {summary.records} record(s) "
+            f"({summary.batches} batch, {summary.submits} submit)"
+        )
+        print(
+            f"  jobs: {summary.jobs_submitted} submitted, "
+            f"{len(summary.unique_fingerprints)} unique, "
+            f"{summary.simulations} simulation(s), "
+            f"{summary.cache_hits} cache hit(s), "
+            f"{summary.batch_duplicates} duplicate(s)"
+        )
+        print(f"  campaign digest: {summary.fingerprint_digest()}")
+        for shard in sorted(summary.shards):
+            stats = summary.shards[shard]
+            print(
+                f"  shard {shard}: {stats['jobs']} job(s), "
+                f"{stats['simulations']} simulation(s), "
+                f"{stats['cache_hits']} cache hit(s), "
+                f"busy {stats['busy_seconds']:.3f}s"
+            )
+        for line in summary.metrics.summary_lines():
+            print(f"  {line}")
+        return 0
+    except (LedgerSchemaError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs.ledger import LedgerSchemaError, summarize_ledgers
+    from repro.obs.report import render_report
+
+    store = None
+    if args.store is not None:
+        # Imported lazily: the engine layer is only needed when --store asks
+        # for result-cache health.
+        from repro.engine.cli import inspect_store
+
+        directory = Path(args.store)
+        if not directory.is_dir():
+            print(f"error: store {directory} is not a directory", file=sys.stderr)
+            return 2
+        store = inspect_store(directory)
+    try:
+        summary = summarize_ledgers(args.sources)
+        text = render_report(
+            summary, store=store, traces=args.traces, markdown=args.markdown
+        )
+    except (LedgerSchemaError, FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out is not None:
+        Path(args.out).write_text(text, encoding="utf-8")
+        print(f"wrote report to {args.out}")
+    else:
+        print(text, end="")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.obs``."""
     parser = build_parser()
@@ -423,4 +560,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_summarize(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "ledger":
+        return _cmd_ledger(args)
+    if args.command == "report":
+        return _cmd_report(args)
     return _cmd_diff(args)

@@ -1,0 +1,467 @@
+"""The persistent run ledger: append-only JSONL accounting of engine work.
+
+Every :class:`~repro.engine.engine.ExperimentEngine` batch (and every
+asynchronous ``submit()`` simulation) can be appended to a **ledger file** —
+one JSON object per line, first line a schema-versioned header, mirroring
+the trace-file format of :mod:`repro.obs.recorder`.  Where a trace records
+what one *simulation* did, the ledger records what a *campaign* did: which
+job fingerprints ran where, how long each took, what the cache served, and
+the engine's cumulative :class:`~repro.obs.metrics.EngineMetrics` snapshot
+after each batch.  Ledgers are durable — an operator can query a campaign
+long after every worker process has exited — and shard workers each write
+their own file into a shared ``--ledger DIR``, fused afterwards by
+``python -m repro.obs ledger merge``.
+
+Ledgers are *observability-only*: nothing in them flows back into a
+simulation, a fingerprint or a digest.  They are also the one sanctioned
+home of host wall-clock timestamps (behind reasoned ``det-wallclock``
+allows): an operator reading a ledger wants to know *when* a batch ran,
+and nothing simulation-visible can read it back.
+
+File layout (``*.ledger.jsonl``)::
+
+    {"kind": "repro-obs-ledger", "schema": 1, "meta": {...}}   <- header
+    {"record": "batch",  ...}                                  <- one per batch
+    {"record": "submit", ...}                                  <- one per async sim
+
+:func:`read_ledger` validates the header (and every record line) the same
+way :func:`repro.obs.recorder.read_trace` validates traces: foreign, stale
+or truncated files raise :class:`LedgerSchemaError` instead of misparsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Any, Iterable, Mapping, Sequence
+
+from repro.obs.metrics import EngineMetrics
+
+__all__ = [
+    "LEDGER_SCHEMA_VERSION",
+    "LEDGER_SUFFIX",
+    "LedgerSchemaError",
+    "LedgerSummary",
+    "LedgerWriter",
+    "ledger_files",
+    "ledger_header",
+    "merge_ledgers",
+    "open_ledger",
+    "read_ledger",
+    "summarize_ledgers",
+]
+
+#: Version of the ledger header and record layout.  Bump when a record type
+#: changes shape; readers refuse other versions.
+LEDGER_SCHEMA_VERSION = 1
+
+#: Marker stored in the header line so arbitrary JSONL files (including
+#: trace files, which share the container format) are never misread.
+_LEDGER_KIND = "repro-obs-ledger"
+
+#: Canonical file suffix; :func:`ledger_files` discovers by it.
+LEDGER_SUFFIX = ".ledger.jsonl"
+
+#: The record types this build writes and reads.
+_RECORD_TYPES = frozenset({"batch", "submit"})
+
+
+class LedgerSchemaError(ValueError):
+    """A ledger file is foreign, truncated, or from another schema version."""
+
+
+def ledger_header(meta: Mapping[str, Any] | None = None) -> dict[str, Any]:
+    """The JSONL header object for a new ledger file."""
+    return {
+        "kind": _LEDGER_KIND,
+        "schema": LEDGER_SCHEMA_VERSION,
+        "meta": dict(meta) if meta else {},
+    }
+
+
+def _validate_header(header: Any, path: Path) -> dict[str, Any]:
+    if not isinstance(header, dict) or header.get("kind") != _LEDGER_KIND:
+        raise LedgerSchemaError(f"{path} is not a {_LEDGER_KIND} file")
+    schema = header.get("schema")
+    if schema != LEDGER_SCHEMA_VERSION:
+        raise LedgerSchemaError(
+            f"{path} was written under ledger schema {schema!r}, but this "
+            f"build reads schema {LEDGER_SCHEMA_VERSION}; regenerate the ledger"
+        )
+    meta = header.get("meta", {})
+    return dict(meta) if isinstance(meta, dict) else {}
+
+
+class LedgerWriter:
+    """Append engine accounting records to one ledger file.
+
+    The file is opened in append mode and is genuinely append-only: a
+    re-started worker pointed at its existing ledger validates the header
+    and continues after the previous records (the campaign's full history
+    stays in one place).  Every record is written as one line and flushed
+    immediately, so a killed worker loses at most the line it was writing
+    — and :func:`read_ledger` rejects that torn tail loudly.
+    """
+
+    def __init__(self, path: str | Path, *, meta: Mapping[str, Any] | None = None) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.meta = dict(meta) if meta else {}
+        existing = self.path.exists() and self.path.stat().st_size > 0
+        if existing:
+            # Appending to a foreign or stale file must fail before the
+            # first record corrupts it.
+            header_meta, _ = read_ledger(self.path)
+            self.meta = header_meta
+        self._handle: IO[str] = self.path.open("a", encoding="utf-8")
+        if not existing:
+            self._handle.write(json.dumps(ledger_header(self.meta), sort_keys=True) + "\n")
+            self._handle.flush()
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Write one record line (caller supplies ``record`` type key)."""
+        kind = record.get("record")
+        if kind not in _RECORD_TYPES:
+            raise ValueError(
+                f"unknown ledger record type {kind!r}; expected one of "
+                f"{sorted(_RECORD_TYPES)}"
+            )
+        self._handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+        self._handle.flush()
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "LedgerWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def wallclock_timestamp() -> float:
+    """Host wall-clock for ledger record timestamps (observability-only).
+
+    The one sanctioned wall-clock source of the ledger layer: timestamps
+    let an operator line a ledger up against worker logs and dashboards.
+    Nothing simulation-visible reads them — summaries and equivalence
+    checks explicitly ignore timestamp fields.
+    """
+    # repro: allow(det-wallclock) — ledger record timestamps: operator-facing provenance only; excluded from fingerprints, digests and ledger-equivalence comparisons
+    return time.time()
+
+
+def open_ledger(
+    directory: str | Path,
+    *,
+    label: str,
+    shard: str | None = None,
+    meta: Mapping[str, Any] | None = None,
+) -> LedgerWriter:
+    """Open (or continue) the ledger file for one worker in *directory*.
+
+    The file name is derived from *label* and the shard identity, so the
+    shard workers of one campaign sharing a ``--ledger DIR`` never collide:
+    ``DIR/<label>-shard-0-of-2.ledger.jsonl`` for shard ``0/2``, plain
+    ``DIR/<label>.ledger.jsonl`` otherwise.  *meta* (plus the shard and the
+    writer's ``FINGERPRINT_VERSION``) lands in the header.
+    """
+    directory = Path(directory)
+    safe_label = "".join(ch if (ch.isalnum() or ch in "-_.") else "-" for ch in label)
+    if shard is not None:
+        index, _, count = shard.partition("/")
+        name = f"{safe_label}-shard-{index}-of-{count}{LEDGER_SUFFIX}"
+    else:
+        name = f"{safe_label}{LEDGER_SUFFIX}"
+    # Imported here: repro.engine.job imports repro.obs at package level, so
+    # a module-level import would create a cycle.
+    from repro.engine.job import FINGERPRINT_VERSION
+
+    header_meta: dict[str, Any] = dict(meta) if meta else {}
+    header_meta.setdefault("label", label)
+    header_meta.setdefault("shard", shard)
+    header_meta.setdefault("fingerprint_version", FINGERPRINT_VERSION)
+    header_meta.setdefault("created", time.strftime("%Y-%m-%dT%H:%M:%S%z"))
+    return LedgerWriter(directory / name, meta=header_meta)
+
+
+def read_ledger(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Parse a ledger file into ``(header_meta, records)``.
+
+    Raises :class:`LedgerSchemaError` when the file is not a ledger, was
+    written under a different :data:`LEDGER_SCHEMA_VERSION`, or contains a
+    truncated/malformed record line — a versioned format must reject, not
+    misparse, and a torn tail line (killed writer) must surface rather than
+    silently shortening the campaign's history.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first.strip():
+            raise LedgerSchemaError(f"{path} is empty; not a ledger file")
+        try:
+            header = json.loads(first)
+        except ValueError as error:
+            raise LedgerSchemaError(f"{path} has no JSON header line: {error}") from error
+        meta = _validate_header(header, path)
+        records: list[dict[str, Any]] = []
+        for line_number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as error:
+                raise LedgerSchemaError(
+                    f"{path}:{line_number}: truncated or malformed ledger "
+                    f"record ({error}); the writer may have been killed "
+                    f"mid-append — repair by deleting the torn final line"
+                ) from error
+            if not isinstance(record, dict) or record.get("record") not in _RECORD_TYPES:
+                raise LedgerSchemaError(
+                    f"{path}:{line_number}: unknown ledger record "
+                    f"{record.get('record') if isinstance(record, dict) else record!r}"
+                )
+            records.append(record)
+    return meta, records
+
+
+def ledger_files(source: str | Path) -> list[Path]:
+    """The ledger files denoted by *source* (a file or a directory).
+
+    A directory expands to its ``*.ledger.jsonl`` children, sorted by name
+    so every caller sees the same deterministic order.
+    """
+    source = Path(source)
+    if source.is_dir():
+        found = sorted(source.glob(f"*{LEDGER_SUFFIX}"))
+        if not found:
+            raise FileNotFoundError(f"no *{LEDGER_SUFFIX} files in {source}")
+        return found
+    if not source.exists():
+        raise FileNotFoundError(f"ledger source {source} does not exist")
+    return [source]
+
+
+def _expand_sources(sources: Iterable[str | Path]) -> list[Path]:
+    paths: list[Path] = []
+    for source in sources:
+        for path in ledger_files(source):
+            if path not in paths:
+                paths.append(path)
+    return paths
+
+
+def merge_ledgers(destination: str | Path, sources: Sequence[str | Path]) -> int:
+    """Fuse shard ledger files into one campaign ledger at *destination*.
+
+    Mirrors :meth:`repro.engine.cache.ResultCache.merge`: every source file
+    is fully validated (header kind, schema version, every record line)
+    *before* anything is written, so a foreign or torn source refuses the
+    merge instead of half-applying it.  Records keep their per-file order,
+    with files processed in sorted-name order; each record is annotated
+    with its source ledger's shard identity (``shard`` key, when absent) so
+    the fused view keeps per-worker attribution.  Returns the number of
+    records written.
+    """
+    paths = _expand_sources(sources)
+    destination = Path(destination)
+    loaded: list[tuple[dict[str, Any], list[dict[str, Any]]]] = []
+    for path in paths:
+        if path.resolve() == destination.resolve():
+            raise ValueError(f"merge source {path} is the destination itself")
+        loaded.append(read_ledger(path))
+
+    merged_meta: dict[str, Any] = {
+        "label": "merged",
+        "merged_from": [str(path) for path in paths],
+        "shards": sorted(
+            {str(meta.get("shard")) for meta, _ in loaded if meta.get("shard") is not None}
+        ),
+    }
+    versions = sorted(
+        {
+            str(meta["fingerprint_version"])
+            for meta, _ in loaded
+            if "fingerprint_version" in meta
+        }
+    )
+    if len(versions) > 1:
+        raise LedgerSchemaError(
+            f"refusing to merge ledgers written under different "
+            f"FINGERPRINT_VERSIONs ({', '.join(versions)}); the campaigns "
+            f"they describe are not comparable"
+        )
+    if versions:
+        merged_meta["fingerprint_version"] = int(versions[0])
+
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    written = 0
+    with destination.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(ledger_header(merged_meta), sort_keys=True) + "\n")
+        for (meta, records), path in zip(loaded, paths):
+            shard = meta.get("shard")
+            for record in records:
+                annotated = dict(record)
+                annotated.setdefault("shard", shard)
+                annotated.setdefault("source_ledger", path.name)
+                handle.write(json.dumps(annotated, sort_keys=True) + "\n")
+                written += 1
+    return written
+
+
+# ------------------------------------------------------------- aggregation
+
+
+@dataclass(slots=True)
+class LedgerSummary:
+    """The campaign view fused from one or more ledgers.
+
+    The deterministic fields — job/fingerprint accounting — are equal
+    between an N-shard merged ledger and a single-process run of the same
+    campaign; the timing fields (metrics, seconds, timestamps) are
+    host-and-partition dependent by nature and are excluded from
+    equivalence comparisons (:meth:`equivalence_key`).
+    """
+
+    ledgers: int = 0
+    records: int = 0
+    batches: int = 0
+    submits: int = 0
+    jobs_submitted: int = 0
+    cache_hits: int = 0
+    batch_duplicates: int = 0
+    simulated_fingerprints: set[str] = field(default_factory=set)
+    served_fingerprints: set[str] = field(default_factory=set)
+    executor_modes: set[str] = field(default_factory=set)
+    shards: dict[str, dict[str, Any]] = field(default_factory=dict)
+    metrics: EngineMetrics = field(default_factory=EngineMetrics)
+    busy_seconds_by_shard: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def simulations(self) -> int:
+        """Distinct fingerprints simulated across every ledger."""
+        return len(self.simulated_fingerprints)
+
+    @property
+    def unique_fingerprints(self) -> set[str]:
+        """Every fingerprint the campaign touched (simulated or served)."""
+        return self.simulated_fingerprints | self.served_fingerprints
+
+    def fingerprint_digest(self) -> str:
+        """sha256 over the sorted unique fingerprints — the campaign identity.
+
+        Two ledgers summarize to the same digest exactly when they cover the
+        same simulated work, however it was partitioned; the CI equivalence
+        check compares merged-shard and single-process digests.
+        """
+        payload = "\n".join(sorted(self.unique_fingerprints)).encode("ascii")
+        return hashlib.sha256(payload).hexdigest()
+
+    def equivalence_key(self) -> dict[str, Any]:
+        """The partition-independent fields, for fleet-equivalence checks.
+
+        Deliberately excludes timestamps, wall-clock seconds, cache-hit and
+        duplicate counts (a shard worker's pre-deduplicated slice sees
+        neither the duplicates nor the warm entries a single process
+        would), shard identities and executor modes.
+        """
+        return {
+            "simulations": self.simulations,
+            "unique_jobs": len(self.unique_fingerprints),
+            "fingerprint_digest": self.fingerprint_digest(),
+        }
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-data form for ``--json`` output."""
+        return {
+            "ledgers": self.ledgers,
+            "records": self.records,
+            "batches": self.batches,
+            "submits": self.submits,
+            "jobs_submitted": self.jobs_submitted,
+            "cache_hits": self.cache_hits,
+            "batch_duplicates": self.batch_duplicates,
+            "simulations": self.simulations,
+            "unique_jobs": len(self.unique_fingerprints),
+            "fingerprint_digest": self.fingerprint_digest(),
+            "executor_modes": sorted(self.executor_modes),
+            "shards": {name: dict(stats) for name, stats in sorted(self.shards.items())},
+            "metrics": self.metrics.to_dict(),
+            "equivalence_key": self.equivalence_key(),
+        }
+
+
+def _shard_key(record: Mapping[str, Any], meta: Mapping[str, Any]) -> str:
+    shard = record.get("shard", meta.get("shard"))
+    return str(shard) if shard is not None else "unsharded"
+
+
+def summarize_ledgers(sources: Sequence[str | Path]) -> LedgerSummary:
+    """Fuse *sources* (ledger files, directories, or a merged ledger).
+
+    Validates every file via :func:`read_ledger`; metrics snapshots are
+    reloaded through :meth:`EngineMetrics.from_dict` and fused bucket-wise
+    with :meth:`EngineMetrics.merge`.  Because each record carries the
+    writer's *cumulative* metrics snapshot, only the final snapshot per
+    ledger file is merged (per-batch deltas would double-count).
+    """
+    summary = LedgerSummary()
+    for path in _expand_sources(sources):
+        meta, records = read_ledger(path)
+        summary.ledgers += 1
+        final_metrics: dict[str, Mapping[str, Any]] = {}
+        for record in records:
+            summary.records += 1
+            shard = _shard_key(record, meta)
+            stats = summary.shards.setdefault(
+                shard,
+                {
+                    "batches": 0,
+                    "submits": 0,
+                    "jobs": 0,
+                    "simulations": 0,
+                    "cache_hits": 0,
+                    "busy_seconds": 0.0,
+                },
+            )
+            simulated = [str(fp) for fp in record.get("simulated", [])]
+            served = [str(fp) for fp in record.get("cached", [])]
+            summary.simulated_fingerprints.update(simulated)
+            summary.served_fingerprints.update(served)
+            summary.jobs_submitted += int(record.get("jobs", 0))
+            summary.cache_hits += len(served)
+            summary.batch_duplicates += int(record.get("duplicates", 0))
+            stats["jobs"] += int(record.get("jobs", 0))
+            stats["simulations"] += len(simulated)
+            stats["cache_hits"] += len(served)
+            job_seconds = record.get("job_seconds", {})
+            if isinstance(job_seconds, Mapping):
+                stats["busy_seconds"] += sum(float(s) for s in job_seconds.values())
+            if record.get("record") == "batch":
+                summary.batches += 1
+                stats["batches"] += 1
+            else:
+                summary.submits += 1
+                stats["submits"] += 1
+            executor = record.get("executor")
+            if executor:
+                summary.executor_modes.add(str(executor))
+            metrics_snapshot = record.get("metrics")
+            if isinstance(metrics_snapshot, Mapping):
+                # Snapshots are cumulative per engine session, so the last
+                # one per (writer, session) wins.  In a merged ledger the
+                # writer is the record's source_ledger annotation; the
+                # session token distinguishes a worker re-run appending to
+                # its own ledger (each process starts fresh metrics).
+                writer = str(record.get("source_ledger", path))
+                session = str(record.get("engine_session", ""))
+                final_metrics[f"{writer}#{session}"] = metrics_snapshot
+        for snapshot in final_metrics.values():
+            summary.metrics.merge(EngineMetrics.from_dict(snapshot))
+    for shard, stats in summary.shards.items():
+        summary.busy_seconds_by_shard[shard] = float(stats["busy_seconds"])
+    return summary

@@ -16,7 +16,7 @@ approximations, which is all a progress summary needs.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Sequence
+from typing import Any, Mapping, Sequence
 
 __all__ = ["EngineMetrics", "Histogram"]
 
@@ -88,6 +88,62 @@ class Histogram:
             "counts": list(self.counts),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from :meth:`to_dict` output (validating it).
+
+        This is what lets a snapshot outlive its process: ledger records
+        store ``to_dict`` payloads, and cross-shard aggregation reloads them
+        here before :meth:`merge`-ing bucket-wise.
+        """
+        histogram = cls(bounds=tuple(float(b) for b in data["bounds_seconds"]))
+        counts = [int(c) for c in data["counts"]]
+        if len(counts) != len(histogram.counts):
+            raise ValueError(
+                f"histogram snapshot has {len(counts)} bucket count(s) for "
+                f"{len(histogram.bounds)} bound(s); expected "
+                f"{len(histogram.counts)}"
+            )
+        if any(c < 0 for c in counts):
+            raise ValueError("histogram snapshot has negative bucket counts")
+        count = int(data["count"])
+        if count != sum(counts):
+            raise ValueError(
+                f"histogram snapshot count {count} does not equal the bucket "
+                f"sum {sum(counts)}"
+            )
+        histogram.counts = counts
+        histogram.count = count
+        histogram.total = float(data["total_seconds"])
+        histogram.min = float(data["min_seconds"])
+        histogram.max = float(data["max_seconds"])
+        return histogram
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold *other* into this histogram, bucket-wise.
+
+        Both histograms must share the identical bucket bounds — merging
+        across differing layouts would silently misbin — and the merged
+        min/max/total/count are exactly what recording both sample streams
+        into one histogram would have produced.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{other.bounds} vs {self.bounds}"
+            )
+        if not other.count:
+            return
+        if not self.count:
+            self.min = other.min
+        else:
+            self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self.count += other.count
+        self.total += other.total
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+
 
 class EngineMetrics:
     """Per-engine accounting of job wall-clock, queue latency and utilization.
@@ -138,6 +194,39 @@ class EngineMetrics:
             "job_seconds": self.job_seconds.to_dict(),
             "queue_latency": self.queue_latency.to_dict(),
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EngineMetrics":
+        """Rebuild a snapshot from :meth:`to_dict` output.
+
+        ``worker_utilization`` is a derived property and is recomputed from
+        the reloaded busy/capacity seconds rather than trusted from the
+        payload.
+        """
+        metrics = cls()
+        metrics.jobs_completed = int(data["jobs_completed"])
+        metrics.batches = int(data["batches"])
+        metrics.busy_seconds = float(data["busy_seconds"])
+        metrics.capacity_seconds = float(data["capacity_seconds"])
+        metrics.job_seconds = Histogram.from_dict(data["job_seconds"])
+        metrics.queue_latency = Histogram.from_dict(data["queue_latency"])
+        return metrics
+
+    def merge(self, other: "EngineMetrics") -> None:
+        """Fold *other*'s accounting into this accumulator.
+
+        Scalars add; histograms add bucket-wise (:meth:`Histogram.merge`).
+        This is the cross-shard fusion primitive: merging every worker's
+        final snapshot yields the campaign-wide job-count, busy-time and
+        latency distribution, with utilization re-derived from the summed
+        busy and capacity seconds.
+        """
+        self.jobs_completed += other.jobs_completed
+        self.batches += other.batches
+        self.busy_seconds += other.busy_seconds
+        self.capacity_seconds += other.capacity_seconds
+        self.job_seconds.merge(other.job_seconds)
+        self.queue_latency.merge(other.queue_latency)
 
     def summary_lines(self) -> list[str]:
         """Human-readable summary for campaign/sweep end-of-run output."""

@@ -17,13 +17,24 @@ subcommand's output to machine-readable JSON.
 The matrix is also the driver of the distributed campaign fabric
 (:mod:`repro.engine.fabric`)::
 
-    # two shard workers (separate processes or hosts), private caches
-    python -m repro.scenarios matrix --quick --shard 0/2 --cache-dir shard0
-    python -m repro.scenarios matrix --quick --shard 1/2 --cache-dir shard1
+    # two shard workers (separate processes or hosts), private caches,
+    # shared run-ledger directory
+    python -m repro.scenarios matrix --quick --shard 0/2 --cache-dir shard0 --ledger ledgers
+    python -m repro.scenarios matrix --quick --shard 1/2 --cache-dir shard1 --ledger ledgers
     # fold the worker stores into one canonical store
     python -m repro.engine merge merged shard0 shard1
     # complete the result-dependent tail and render the matrix
     python -m repro.scenarios matrix --quick --resume --cache-dir merged
+    # fuse and render the campaign's run ledgers
+    python -m repro.obs ledger summarize ledgers
+    python -m repro.obs report ledgers --store merged
+
+``--ledger DIR`` appends durable per-batch accounting records (job
+fingerprints, per-job wall-clock, cache counters, engine metrics) into a
+per-worker ``*.ledger.jsonl`` file; ``--metrics-out PATH`` writes the final
+engine-metrics snapshot as a Prometheus textfile (or ``.json``) for
+scraping.  Both are observability-only and leave every result digest
+bit-identical.
 
 ``--shard K/N`` simulates only the fingerprints owned by shard *K* of *N*
 into the worker's private cache and prints shard accounting instead of the
@@ -40,7 +51,14 @@ import sys
 from typing import Sequence
 
 from repro.analysis.reporting import format_table
-from repro.engine import CacheVersionError, ExperimentEngine, make_engine, parse_shard, run_shard
+from repro.engine import (
+    CacheVersionError,
+    ExperimentEngine,
+    ShardSpec,
+    make_engine,
+    parse_shard,
+    run_shard,
+)
 from repro.obs.logging import add_logging_arguments, configure_logging, get_logger
 from repro.scenarios.campaign import CampaignResult, campaign_jobs, run_campaign
 from repro.scenarios.library import (
@@ -102,6 +120,20 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="log an engine progress line at most every SECONDS seconds "
             "(default 30 when the flag is given without a value)",
+        )
+        sub.add_argument(
+            "--ledger",
+            default=None,
+            metavar="DIR",
+            help="append per-batch run-ledger records into DIR "
+            "(one *.ledger.jsonl per worker; see python -m repro.obs ledger)",
+        )
+        sub.add_argument(
+            "--metrics-out",
+            default=None,
+            metavar="PATH",
+            help="write the final engine-metrics snapshot to PATH "
+            "(.json = JSON, anything else = Prometheus textfile format)",
         )
         sub.add_argument("--json", action="store_true", dest="as_json")
 
@@ -269,6 +301,35 @@ def main(argv: Sequence[str] | None = None) -> int:
         # the user wants to see it regardless of the -v/-q level.
         get_logger("repro.engine").setLevel("INFO")
 
+    if args.ledger is not None:
+        from repro.obs.ledger import open_ledger
+
+        engine.ledger = open_ledger(
+            args.ledger,
+            label=args.command if args.command == "matrix" else f"run-{args.name}",
+            shard=shard,
+        )
+    try:
+        return _run_or_matrix(args, engine, shard_spec)
+    finally:
+        if engine.ledger is not None:
+            engine.ledger.close()
+        if args.metrics_out is not None:
+            from repro.obs.export import write_metrics_snapshot
+
+            labels = {"command": args.command}
+            if shard is not None:
+                labels["shard"] = shard
+            path = write_metrics_snapshot(args.metrics_out, engine.metrics, labels=labels)
+            if not args.as_json:
+                print(f"wrote metrics snapshot to {path}")
+
+
+def _run_or_matrix(
+    args: argparse.Namespace, engine: ExperimentEngine, shard_spec: ShardSpec | None
+) -> int:
+    """The shared run/matrix body (scenario selection, shard/resume/campaign)."""
+    resume = getattr(args, "resume", False)
     if args.command == "run":
         try:
             scenarios = [get_scenario(args.name)]

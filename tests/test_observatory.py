@@ -1,0 +1,577 @@
+"""Tests for the campaign observatory: run ledger, aggregation, exporters.
+
+The load-bearing properties first: the ledger is observation-only (the ten
+golden digests are bit-identical with a ledger attached), and the fleet is
+equivalent to the single process (a merged N-shard ledger summarizes to
+the same partition-independent equivalence key as one process running the
+whole job list).  The rest covers the JSONL schema validation (foreign,
+stale and truncated files reject loudly), ``merge_ledgers``'
+validate-before-write contract, the metrics ``from_dict``/``merge``
+round-trips, the Prometheus/JSON exporters, the campaign report renderer,
+the ``bench history`` trajectory analysis and the CLI surfaces.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from golden_digests import golden_jobs, result_digest
+from repro.bench.environment import EnvironmentFingerprint
+from repro.bench.history import load_trajectories, render_history
+from repro.bench.schema import BenchEntry, BenchRun
+from repro.engine import ExperimentEngine, run_job
+from repro.engine.cache import ResultCache
+from repro.engine.cli import inspect_store
+from repro.engine.fabric import ShardSpec, run_shard
+from repro.obs.cli import main as obs_main
+from repro.obs.export import (
+    prometheus_text,
+    write_json_snapshot,
+    write_metrics_snapshot,
+    write_prometheus_snapshot,
+)
+from repro.obs.ledger import (
+    LEDGER_SCHEMA_VERSION,
+    LedgerSchemaError,
+    LedgerWriter,
+    ledger_files,
+    merge_ledgers,
+    open_ledger,
+    read_ledger,
+    summarize_ledgers,
+)
+from repro.obs.metrics import EngineMetrics, Histogram
+from repro.obs.report import render_histogram, render_report
+from test_golden_values import GOLDEN_DIGESTS
+
+
+def _sample_metrics(values=(0.002, 0.05, 0.4, 2.0)) -> EngineMetrics:
+    metrics = EngineMetrics()
+    for value in values:
+        metrics.record_job(value, value * 2)
+    metrics.record_batch(sum(values), 2)
+    return metrics
+
+
+# ------------------------------------------------------------ bit-identity
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_DIGESTS))
+def test_golden_digests_bit_identical_with_ledger_attached(name, tmp_path):
+    """The ledger is observation-only: digests must not move when it is on."""
+    engine = ExperimentEngine()
+    engine.ledger = open_ledger(tmp_path, label="golden")
+    job = golden_jobs()[name]
+    result = engine.run_all([job])[0]
+    engine.ledger.close()
+    assert result_digest(result) == GOLDEN_DIGESTS[name], (
+        f"RunResult for {name} diverged with a run ledger attached; the "
+        "ledger must be observation-only"
+    )
+    # ...and the ledger actually recorded the work.
+    _, records = read_ledger(tmp_path / "golden.ledger.jsonl")
+    assert [job.fingerprint()] in [record["simulated"] for record in records]
+
+
+def test_exporters_do_not_perturb_results(tmp_path):
+    """Digest parity with the exporter writing snapshots after engine work."""
+    job = golden_jobs()["gcc/synchronous"]
+    engine = ExperimentEngine()
+    result = engine.run_all([job])[0]
+    write_metrics_snapshot(tmp_path / "metrics.prom", engine.metrics)
+    assert result_digest(result) == GOLDEN_DIGESTS["gcc/synchronous"]
+    assert result_digest(run_job(job)) == GOLDEN_DIGESTS["gcc/synchronous"]
+
+
+# ------------------------------------------------------- metrics round-trip
+
+
+def test_histogram_round_trips_through_dict():
+    histogram = Histogram()
+    for value in (0.0005, 0.02, 0.02, 5.0, 500.0):
+        histogram.record(value)
+    clone = Histogram.from_dict(histogram.to_dict())
+    assert clone.to_dict() == histogram.to_dict()
+
+
+def test_histogram_from_dict_rejects_inconsistent_counts():
+    payload = Histogram().to_dict()
+    payload["count"] = 3  # buckets still sum to 0
+    with pytest.raises(ValueError, match="bucket sum"):
+        Histogram.from_dict(payload)
+
+
+def test_histogram_merge_equals_combined_recording():
+    left, right, combined = Histogram(), Histogram(), Histogram()
+    for value in (0.002, 0.2, 2.0):
+        left.record(value)
+        combined.record(value)
+    for value in (0.0001, 0.05, 50.0):
+        right.record(value)
+        combined.record(value)
+    left.merge(right)
+    assert left.to_dict() == combined.to_dict()
+
+
+def test_histogram_merge_rejects_different_bounds():
+    with pytest.raises(ValueError, match="different bounds"):
+        Histogram().merge(Histogram(bounds=(1.0, 2.0)))
+
+
+def test_engine_metrics_round_trip_and_merge():
+    first = _sample_metrics()
+    second = _sample_metrics(values=(0.01, 0.3))
+    clone = EngineMetrics.from_dict(first.to_dict())
+    assert clone.to_dict() == first.to_dict()
+
+    combined = EngineMetrics()
+    for values in ((0.002, 0.05, 0.4, 2.0), (0.01, 0.3)):
+        for value in values:
+            combined.record_job(value, value * 2)
+        combined.record_batch(sum(values), 2)
+    first.merge(second)
+    # Scalar sums are float-associative; compare with approx, counts exactly.
+    assert first.jobs_completed == combined.jobs_completed
+    assert first.batches == combined.batches
+    assert first.busy_seconds == pytest.approx(combined.busy_seconds)
+    assert first.capacity_seconds == pytest.approx(combined.capacity_seconds)
+    assert first.job_seconds.counts == combined.job_seconds.counts
+    assert first.queue_latency.counts == combined.queue_latency.counts
+    assert first.job_seconds.total == pytest.approx(combined.job_seconds.total)
+    assert 0.0 < first.worker_utilization <= 1.0
+
+
+# ---------------------------------------------------------- ledger schema
+
+
+def test_ledger_writer_round_trip(tmp_path):
+    path = tmp_path / "run.ledger.jsonl"
+    with LedgerWriter(path, meta={"label": "test"}) as writer:
+        writer.append({"record": "batch", "jobs": 2, "simulated": ["a", "b"]})
+    meta, records = read_ledger(path)
+    assert meta["label"] == "test"
+    assert records == [{"record": "batch", "jobs": 2, "simulated": ["a", "b"]}]
+
+
+def test_ledger_writer_is_append_only_across_reopens(tmp_path):
+    path = tmp_path / "run.ledger.jsonl"
+    with LedgerWriter(path, meta={"label": "first"}) as writer:
+        writer.append({"record": "batch", "jobs": 1})
+    # A re-started worker continues the same file, keeping the original
+    # header and all previous records.
+    with LedgerWriter(path, meta={"label": "ignored"}) as writer:
+        assert writer.meta["label"] == "first"
+        writer.append({"record": "submit", "jobs": 1})
+    meta, records = read_ledger(path)
+    assert meta["label"] == "first"
+    assert [record["record"] for record in records] == ["batch", "submit"]
+
+
+def test_ledger_writer_rejects_unknown_record_type(tmp_path):
+    with LedgerWriter(tmp_path / "run.ledger.jsonl") as writer:
+        with pytest.raises(ValueError, match="unknown ledger record type"):
+            writer.append({"record": "bogus"})
+
+
+def test_ledger_writer_refuses_foreign_existing_file(tmp_path):
+    path = tmp_path / "foreign.ledger.jsonl"
+    path.write_text('{"kind": "something-else", "schema": 1}\n')
+    with pytest.raises(LedgerSchemaError):
+        LedgerWriter(path)
+
+
+def test_read_ledger_rejects_foreign_stale_and_truncated(tmp_path):
+    empty = tmp_path / "empty.ledger.jsonl"
+    empty.write_text("")
+    with pytest.raises(LedgerSchemaError, match="empty"):
+        read_ledger(empty)
+
+    foreign = tmp_path / "foreign.ledger.jsonl"
+    foreign.write_text('{"kind": "repro-obs-trace", "schema": 1}\n')
+    with pytest.raises(LedgerSchemaError, match="not a repro-obs-ledger"):
+        read_ledger(foreign)
+
+    stale = tmp_path / "stale.ledger.jsonl"
+    stale.write_text(
+        json.dumps({"kind": "repro-obs-ledger", "schema": LEDGER_SCHEMA_VERSION + 1}) + "\n"
+    )
+    with pytest.raises(LedgerSchemaError, match="schema"):
+        read_ledger(stale)
+
+    torn = tmp_path / "torn.ledger.jsonl"
+    torn.write_text(
+        json.dumps({"kind": "repro-obs-ledger", "schema": LEDGER_SCHEMA_VERSION, "meta": {}})
+        + "\n"
+        + '{"record": "batch", "jobs":'
+    )
+    with pytest.raises(LedgerSchemaError, match="truncated or malformed"):
+        read_ledger(torn)
+
+    alien_record = tmp_path / "alien.ledger.jsonl"
+    alien_record.write_text(
+        json.dumps({"kind": "repro-obs-ledger", "schema": LEDGER_SCHEMA_VERSION, "meta": {}})
+        + "\n"
+        + '{"record": "mystery"}\n'
+    )
+    with pytest.raises(LedgerSchemaError, match="unknown ledger record"):
+        read_ledger(alien_record)
+
+
+def test_ledger_files_discovers_directory_sorted(tmp_path):
+    for name in ("b", "a"):
+        with LedgerWriter(tmp_path / f"{name}.ledger.jsonl"):
+            pass
+    found = ledger_files(tmp_path)
+    assert [path.name for path in found] == ["a.ledger.jsonl", "b.ledger.jsonl"]
+    with pytest.raises(FileNotFoundError):
+        ledger_files(tmp_path / "missing")
+
+
+# ----------------------------------------------------------- ledger merge
+
+
+def test_merge_ledgers_annotates_and_counts(tmp_path):
+    for index in range(2):
+        with open_ledger(tmp_path / "shards", label="m", shard=f"{index}/2") as writer:
+            writer.append({"record": "batch", "jobs": 1, "simulated": [f"fp{index}"]})
+    destination = tmp_path / "merged.ledger.jsonl"
+    assert merge_ledgers(destination, [tmp_path / "shards"]) == 2
+    meta, records = read_ledger(destination)
+    assert meta["label"] == "merged"
+    assert meta["shards"] == ["0/2", "1/2"]
+    assert sorted(record["shard"] for record in records) == ["0/2", "1/2"]
+    assert all("source_ledger" in record for record in records)
+
+
+def test_merge_ledgers_refuses_destination_as_source(tmp_path):
+    with open_ledger(tmp_path, label="solo") as writer:
+        writer.append({"record": "batch", "jobs": 0})
+    destination = tmp_path / "solo.ledger.jsonl"
+    with pytest.raises(ValueError, match="destination"):
+        merge_ledgers(destination, [destination])
+
+
+def test_merge_ledgers_refuses_mixed_fingerprint_versions(tmp_path):
+    with open_ledger(tmp_path, label="current") as writer:
+        writer.append({"record": "batch", "jobs": 0})
+    other = tmp_path / "old.ledger.jsonl"
+    other.write_text(
+        json.dumps(
+            {
+                "kind": "repro-obs-ledger",
+                "schema": LEDGER_SCHEMA_VERSION,
+                "meta": {"fingerprint_version": 0},
+            }
+        )
+        + "\n"
+    )
+    with pytest.raises(LedgerSchemaError, match="FINGERPRINT_VERSION"):
+        merge_ledgers(tmp_path / "merged.ledger.jsonl", [tmp_path])
+
+
+def test_merge_ledgers_validates_all_sources_before_writing(tmp_path):
+    with open_ledger(tmp_path / "shards", label="good") as writer:
+        writer.append({"record": "batch", "jobs": 1})
+    torn = tmp_path / "shards" / "torn.ledger.jsonl"
+    torn.write_text(
+        json.dumps({"kind": "repro-obs-ledger", "schema": LEDGER_SCHEMA_VERSION, "meta": {}})
+        + "\n"
+        + '{"record":'
+    )
+    destination = tmp_path / "merged.ledger.jsonl"
+    with pytest.raises(LedgerSchemaError):
+        merge_ledgers(destination, [tmp_path / "shards"])
+    assert not destination.exists(), "a refused merge must not half-write"
+
+
+# ------------------------------------------------- engine/fabric integration
+
+
+def test_engine_ledger_records_batches_and_cache_hits(tmp_path):
+    jobs = list(golden_jobs().values())[:2]
+    cache = ResultCache(directory=tmp_path / "cache")
+    engine = ExperimentEngine(cache=cache)
+    engine.ledger = open_ledger(tmp_path, label="warmup")
+    engine.run_all(jobs)
+    engine.run_all(jobs)  # second pass served from cache
+    engine.ledger.close()
+    _, records = read_ledger(tmp_path / "warmup.ledger.jsonl")
+    assert len(records) == 2
+    cold, warm = records
+    assert cold["record"] == "batch"
+    assert sorted(cold["simulated"]) == sorted(job.fingerprint() for job in jobs)
+    assert cold["cached"] == []
+    assert warm["simulated"] == []
+    assert sorted(warm["cached"]) == sorted(job.fingerprint() for job in jobs)
+    for record in records:
+        assert record["executor"] == "serial"
+        assert record["engine_session"]
+        assert record["metrics"]["jobs_completed"] == 2
+        assert isinstance(record["t"], float)
+
+
+def test_engine_submit_appends_ledger_records(tmp_path):
+    job = golden_jobs()["gcc/synchronous"]
+    engine = ExperimentEngine()
+    engine.ledger = open_ledger(tmp_path, label="server")
+    engine.submit(job).result()
+    engine.ledger.close()
+    _, records = read_ledger(tmp_path / "server.ledger.jsonl")
+    assert [record["record"] for record in records] == ["submit"]
+    assert records[0]["simulated"] == [job.fingerprint()]
+
+
+def test_shard_report_carries_ledger_path(tmp_path):
+    jobs = list(golden_jobs().values())[:3]
+    engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / "cache"))
+    engine.ledger = open_ledger(tmp_path, label="w", shard="0/1")
+    report = run_shard(jobs, ShardSpec(0, 1), engine)
+    engine.ledger.close()
+    assert report.ledger_path == str(tmp_path / "w-shard-0-of-1.ledger.jsonl")
+    assert report.ledger_path in report.describe()
+    assert report.to_dict()["ledger_path"] == report.ledger_path
+
+    bare = ExperimentEngine()
+    assert run_shard(jobs, ShardSpec(0, 1), bare).ledger_path is None
+
+
+def test_fleet_equivalence_merged_shards_match_single_process(tmp_path):
+    """The tentpole invariant: N-shard ledgers fuse to the one-process view."""
+    jobs = list(golden_jobs().values())
+    for index in range(2):
+        engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / f"cache{index}"))
+        engine.ledger = open_ledger(tmp_path / "ledgers", label="fleet", shard=f"{index}/2")
+        run_shard(jobs, ShardSpec(index, 2), engine)
+        engine.ledger.close()
+    merged = tmp_path / "merged.ledger.jsonl"
+    merge_ledgers(merged, [tmp_path / "ledgers"])
+    fleet = summarize_ledgers([merged])
+
+    single = ExperimentEngine(cache=ResultCache(directory=tmp_path / "cache-single"))
+    single.ledger = open_ledger(tmp_path / "single", label="fleet")
+    run_shard(jobs, ShardSpec(0, 1), single)
+    single.ledger.close()
+    solo = summarize_ledgers([tmp_path / "single"])
+
+    assert fleet.equivalence_key() == solo.equivalence_key()
+    assert fleet.simulations == len(jobs)
+    # Per-shard attribution survived the merge; timing fields are per-host
+    # and deliberately not part of the equivalence key.
+    assert set(fleet.shards) == {"0/2", "1/2"}
+    assert fleet.metrics.jobs_completed == solo.metrics.jobs_completed
+
+
+def test_summarize_keeps_final_snapshot_per_engine_session(tmp_path):
+    """A re-run worker appends with fresh metrics; both sessions must count."""
+    jobs = list(golden_jobs().values())[:2]
+    for job in jobs:  # two processes, one job each, same ledger file
+        engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / "cache"))
+        engine.ledger = open_ledger(tmp_path, label="restart")
+        engine.run_all([job])
+        engine.ledger.close()
+    summary = summarize_ledgers([tmp_path / "restart.ledger.jsonl"])
+    assert summary.metrics.jobs_completed == 2
+    assert summary.simulations == 2
+
+
+# -------------------------------------------------------------- exporters
+
+
+def test_prometheus_text_exposes_cumulative_histogram():
+    metrics = _sample_metrics()
+    text = prometheus_text(metrics, labels={"shard": "0/2"})
+    assert 'repro_engine_jobs_completed_total{shard="0/2"} 4' in text
+    assert "# TYPE repro_engine_job_seconds histogram" in text
+    assert 'repro_engine_job_seconds_bucket{le="+Inf",shard="0/2"} 4' in text
+    assert 'repro_engine_job_seconds_count{shard="0/2"} 4' in text
+    # Buckets are cumulative and non-decreasing.
+    counts = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("repro_engine_job_seconds_bucket")
+    ]
+    assert counts == sorted(counts)
+    assert counts[-1] == 4
+
+
+def test_snapshot_writers_dispatch_on_extension(tmp_path):
+    metrics = _sample_metrics()
+    prom = write_metrics_snapshot(tmp_path / "out.prom", metrics)
+    assert prom.read_text().startswith("# HELP repro_engine_jobs_completed_total")
+    jsonpath = write_metrics_snapshot(tmp_path / "out.json", metrics, labels={"a": "b"})
+    payload = json.loads(jsonpath.read_text())
+    assert payload["labels"] == {"a": "b"}
+    assert payload["metrics"] == metrics.to_dict()
+    assert payload["exported"]
+    # Direct writers agree with the dispatcher.
+    assert (
+        write_prometheus_snapshot(tmp_path / "direct.prom", metrics).read_text()
+        == prom.read_text()
+    )
+    write_json_snapshot(tmp_path / "direct.json", metrics, labels={"a": "b"})
+
+
+# ----------------------------------------------------------------- report
+
+
+def _fleet_summary(tmp_path):
+    jobs = list(golden_jobs().values())[:4]
+    for index in range(2):
+        engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / f"cache{index}"))
+        engine.ledger = open_ledger(tmp_path / "ledgers", label="r", shard=f"{index}/2")
+        run_shard(jobs, ShardSpec(index, 2), engine)
+        engine.ledger.close()
+    return summarize_ledgers([tmp_path / "ledgers"])
+
+
+def test_render_report_sections(tmp_path):
+    summary = _fleet_summary(tmp_path)
+    text = render_report(summary)
+    for section in ("Campaign", "Work", "Engine", "Per-shard balance", "Job wall-clock"):
+        assert section in text
+    assert "0/2" in text and "1/2" in text
+    markdown = render_report(summary, markdown=True)
+    assert "## Per-shard balance" in markdown
+    assert "| shard |" in markdown
+
+
+def test_render_report_with_store(tmp_path):
+    summary = _fleet_summary(tmp_path)
+    store = inspect_store(tmp_path / "cache0")
+    text = render_report(summary, store=store)
+    assert "Result store" in text
+    assert str(tmp_path / "cache0") in text
+
+
+def test_render_histogram_empty():
+    assert render_histogram(Histogram()) == ["(no samples)"]
+
+
+# ------------------------------------------------------------ CLI surfaces
+
+
+def test_obs_ledger_cli_merge_summarize_report(tmp_path, capsys):
+    jobs = list(golden_jobs().values())[:4]
+    for index in range(2):
+        engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / f"cache{index}"))
+        engine.ledger = open_ledger(tmp_path / "ledgers", label="cli", shard=f"{index}/2")
+        run_shard(jobs, ShardSpec(index, 2), engine)
+        engine.ledger.close()
+    merged = tmp_path / "merged.ledger.jsonl"
+    assert obs_main(["ledger", "merge", str(merged), str(tmp_path / "ledgers")]) == 0
+    assert "merged 2 record(s)" in capsys.readouterr().out
+
+    assert obs_main(["ledger", "summarize", str(merged), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["simulations"] == 4
+    assert payload["equivalence_key"]["unique_jobs"] == 4
+
+    report_path = tmp_path / "report.md"
+    assert (
+        obs_main(
+            [
+                "report",
+                str(merged),
+                "--markdown",
+                "--store",
+                str(tmp_path / "cache0"),
+                "--out",
+                str(report_path),
+            ]
+        )
+        == 0
+    )
+    rendered = report_path.read_text()
+    assert "## Per-shard balance" in rendered
+    assert "## Result store" in rendered
+
+
+def test_obs_ledger_cli_rejects_foreign_file(tmp_path, capsys):
+    foreign = tmp_path / "foreign.ledger.jsonl"
+    foreign.write_text('{"kind": "nope", "schema": 1}\n')
+    assert obs_main(["ledger", "summarize", str(foreign)]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_inspect_store_json_payload(tmp_path):
+    job = golden_jobs()["gcc/synchronous"]
+    engine = ExperimentEngine(cache=ResultCache(directory=tmp_path / "store"))
+    engine.run_all([job])
+    summary = inspect_store(tmp_path / "store")
+    assert summary["entries"] == 1
+    assert summary["servable_entries"] == 1
+    assert summary["unreadable_entries"] == 0
+    assert summary["version_mismatches"] == 0
+    assert "cache_stats" in summary and "hits" in summary["cache_stats"]
+
+
+# ------------------------------------------------------------ bench history
+
+
+def _bench_entry(seconds: float, calibration: float, *, quick: bool = True) -> dict:
+    entry = BenchEntry(
+        suite="sweep",
+        environment=EnvironmentFingerprint.collect(),
+        calibration_seconds=calibration,
+        parameters={"quick": quick},
+        runs=[
+            BenchRun(
+                name="figure6_sweep_serial",
+                seconds=seconds,
+                normalized=seconds / calibration,
+                simulations=62,
+            )
+        ],
+    )
+    return entry.to_dict()
+
+
+def test_bench_history_trajectory_and_regression_flags(tmp_path):
+    history = {
+        "sweep": [
+            _bench_entry(10.0, 0.1),
+            _bench_entry(5.0, 0.1),
+            _bench_entry(9.0, 0.1),  # +80% normalized: regression
+            _bench_entry(2.0, 0.1, quick=False),  # different mode: no delta
+        ]
+    }
+    (tmp_path / "BENCH_sweep.json").write_text(json.dumps(history))
+    trajectories = load_trajectories(tmp_path, tolerance=0.15)
+    rows = trajectories["sweep"]
+    assert [row.mode for row in rows] == ["quick", "quick", "quick", "full"]
+    assert rows[0].delta_percent is None
+    assert rows[1].delta_percent == pytest.approx(-50.0)
+    assert not rows[1].regression
+    assert rows[2].delta_percent == pytest.approx(80.0)
+    assert rows[2].regression
+    assert rows[3].delta_percent is None, "full-mode rows never compare to quick rows"
+
+    text = render_history(trajectories)
+    assert "REGRESSION" in text
+    markdown = render_history(trajectories, markdown=True)
+    assert "### sweep" in markdown
+    assert "| timestamp |" in markdown
+
+
+def test_bench_history_skips_invalid_entries_and_honours_limit(tmp_path):
+    history = {"sweep": [{"not": "an entry"}, _bench_entry(4.0, 0.1), _bench_entry(3.0, 0.1)]}
+    (tmp_path / "BENCH_sweep.json").write_text(json.dumps(history))
+    trajectories = load_trajectories(tmp_path, limit=1)
+    assert len(trajectories["sweep"]) == 1
+    # The delta is computed over the full history before limiting.
+    assert trajectories["sweep"][0].delta_percent == pytest.approx(-25.0)
+    with pytest.raises(FileNotFoundError):
+        load_trajectories(tmp_path / "missing")
+
+
+def test_bench_history_cli(tmp_path, capsys):
+    from repro.bench.cli import main as bench_main
+
+    (tmp_path / "BENCH_sweep.json").write_text(
+        json.dumps({"sweep": [_bench_entry(4.0, 0.1)]})
+    )
+    assert bench_main(["history", "--output-dir", str(tmp_path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["sweep"][0]["simulations"] == 62
